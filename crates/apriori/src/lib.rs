@@ -1,0 +1,71 @@
+//! # wikistale-apriori
+//!
+//! Frequent-itemset mining with the Apriori algorithm (Agrawal & Srikant,
+//! VLDB 1994) and association-rule generation, as used by the
+//! association-rule staleness predictor of Barth et al. (EDBT 2023, §3.3).
+//!
+//! The crate is deliberately generic: items are dense `u32` ids and
+//! transactions are sets of items, so it is reusable outside the Wikipedia
+//! setting. The paper's predictor mines *unary* rules (one item on each
+//! side), but the miner here is complete up to a configurable itemset size
+//! and the rule generator enumerates every antecedent/consequent split.
+//!
+//! A deliberately naive exponential reference implementation lives in
+//! [`naive`]; property tests assert the optimized miner agrees with it on
+//! random inputs.
+//!
+//! ## Example
+//!
+//! ```
+//! use wikistale_apriori::{AprioriParams, Support, TransactionSet, mine};
+//!
+//! let mut b = TransactionSet::builder();
+//! // `matches` (0) and `goals` (1) change together; `stadium` (2) rarely.
+//! for _ in 0..8 { b.push([0, 1]); }
+//! b.push([0]);
+//! b.push([2]);
+//! let ts = b.finish();
+//!
+//! let rules = mine(&ts, &AprioriParams {
+//!     min_support: Support::Fraction(0.2),
+//!     min_confidence: 0.6,
+//!     max_itemset_size: 2,
+//! });
+//! // 0 ⇒ 1 holds with confidence 8/9; 1 ⇒ 0 with confidence 1.
+//! assert!(rules.iter().any(|r| r.antecedent == [0] && r.consequent == [1]));
+//! assert!(rules.iter().any(|r| r.antecedent == [1] && r.consequent == [0]));
+//! ```
+
+pub mod miner;
+pub mod naive;
+pub mod rules;
+pub mod transactions;
+
+pub use miner::{frequent_itemsets, FrequentItemset, Support};
+pub use rules::{association_rules, mine, AssociationRule};
+pub use transactions::{TransactionSet, TransactionSetBuilder};
+
+/// Mining parameters.
+///
+/// The paper's configuration (§5.2) is `min_support = Fraction(0.0025)`,
+/// `min_confidence = 0.6`, `max_itemset_size = 2` (unary rules).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AprioriParams {
+    /// Minimum support for an itemset to be considered frequent.
+    pub min_support: Support,
+    /// Minimum confidence for a rule to be emitted.
+    pub min_confidence: f64,
+    /// Largest itemset size explored (≥ 2 for any rule to exist).
+    pub max_itemset_size: usize,
+}
+
+impl Default for AprioriParams {
+    /// The paper's grid-search optimum.
+    fn default() -> AprioriParams {
+        AprioriParams {
+            min_support: Support::Fraction(0.0025),
+            min_confidence: 0.6,
+            max_itemset_size: 2,
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Level-wise Apriori frequent-itemset mining.
+
+use crate::transactions::TransactionSet;
+use std::collections::HashMap;
+
+/// A minimum-support threshold, either relative or absolute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Support {
+    /// Fraction of the number of transactions, in `[0, 1]`.
+    Fraction(f64),
+    /// Absolute transaction count.
+    Count(u64),
+}
+
+impl Support {
+    /// Resolve to an absolute count given the number of transactions.
+    ///
+    /// A `Fraction` resolves to `ceil(f · n)` clamped to at least 1, so
+    /// `Fraction(0.0)` still requires one supporting transaction — an
+    /// itemset nobody bought is never frequent.
+    pub fn to_count(self, num_transactions: usize) -> u64 {
+        match self {
+            Support::Count(c) => c.max(1),
+            Support::Fraction(f) => {
+                let f = f.clamp(0.0, 1.0);
+                ((f * num_transactions as f64).ceil() as u64).max(1)
+            }
+        }
+    }
+}
+
+/// A frequent itemset with its absolute support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// Sorted item ids.
+    pub items: Vec<u32>,
+    /// Number of transactions containing every item.
+    pub count: u64,
+}
+
+/// Mine all frequent itemsets of size 1 to `max_len`.
+///
+/// The classic level-wise algorithm: frequent 1-itemsets from a counting
+/// pass, then repeatedly (a) join `L_{k-1}` with itself on a shared
+/// (k−2)-prefix, (b) prune candidates with an infrequent (k−1)-subset, and
+/// (c) count candidate support in one pass over the transactions.
+/// Results are sorted lexicographically by item list.
+pub fn frequent_itemsets(
+    ts: &TransactionSet,
+    min_support: Support,
+    max_len: usize,
+) -> Vec<FrequentItemset> {
+    let min_count = min_support.to_count(ts.len());
+    let mut result: Vec<FrequentItemset> = Vec::new();
+    if max_len == 0 || ts.is_empty() {
+        return result;
+    }
+
+    // Level 1: direct counting.
+    let universe = ts.max_item().map_or(0, |m| m as usize + 1);
+    let mut item_counts = vec![0u64; universe];
+    for t in ts.iter() {
+        for &i in t {
+            item_counts[i as usize] += 1;
+        }
+    }
+    let mut level: Vec<FrequentItemset> = item_counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= min_count)
+        .map(|(i, &c)| FrequentItemset {
+            items: vec![i as u32],
+            count: c,
+        })
+        .collect();
+
+    let mut k = 1;
+    while !level.is_empty() {
+        result.extend(level.iter().cloned());
+        k += 1;
+        if k > max_len {
+            break;
+        }
+        let candidates = generate_candidates(&level);
+        if candidates.is_empty() {
+            break;
+        }
+        level = count_candidates(ts, candidates, k, min_count);
+    }
+    result.sort_by(|a, b| a.items.cmp(&b.items));
+    result
+}
+
+/// Join step + prune step: candidates of size k from frequent (k−1)-sets.
+fn generate_candidates(level: &[FrequentItemset]) -> Vec<Vec<u32>> {
+    // `level` items are sorted lists; sort the level lexicographically so
+    // sets sharing a (k−2)-prefix are adjacent.
+    let mut prev: Vec<&[u32]> = level.iter().map(|f| f.items.as_slice()).collect();
+    prev.sort_unstable();
+    let prev_set: std::collections::HashSet<&[u32]> = prev.iter().copied().collect();
+    let k_minus_1 = prev.first().map_or(0, |s| s.len());
+
+    let mut candidates = Vec::new();
+    for i in 0..prev.len() {
+        for j in (i + 1)..prev.len() {
+            let (a, b) = (prev[i], prev[j]);
+            if a[..k_minus_1 - 1] != b[..k_minus_1 - 1] {
+                break; // sorted ⇒ no later j shares the prefix either
+            }
+            let mut candidate = a.to_vec();
+            candidate.push(b[k_minus_1 - 1]);
+            // Prune: every (k−1)-subset must be frequent. Subsets obtained
+            // by dropping the last two positions equal `a` and the join
+            // partner; check the rest.
+            let frequent = (0..candidate.len() - 2).all(|drop| {
+                let mut sub = candidate.clone();
+                sub.remove(drop);
+                prev_set.contains(sub.as_slice())
+            });
+            if frequent {
+                candidates.push(candidate);
+            }
+        }
+    }
+    candidates
+}
+
+/// Count candidate support in one transaction scan; keep those ≥ min_count.
+fn count_candidates(
+    ts: &TransactionSet,
+    candidates: Vec<Vec<u32>>,
+    k: usize,
+    min_count: u64,
+) -> Vec<FrequentItemset> {
+    let mut counts: HashMap<Vec<u32>, u64> = candidates.into_iter().map(|c| (c, 0)).collect();
+    let mut subset_buf = Vec::with_capacity(k);
+    for t in ts.iter() {
+        if t.len() < k {
+            continue;
+        }
+        // For small transactions enumerate k-subsets and probe the map;
+        // the binomial is tiny for infobox-week transactions. For long
+        // transactions fall back to testing each candidate.
+        if binomial(t.len(), k) <= 4 * counts.len() as u64 {
+            enumerate_subsets(t, k, &mut subset_buf, &mut |subset| {
+                if let Some(c) = counts.get_mut(subset) {
+                    *c += 1;
+                }
+            });
+        } else {
+            for (cand, c) in counts.iter_mut() {
+                if crate::transactions::is_subset(cand, t) {
+                    *c += 1;
+                }
+            }
+        }
+    }
+    let mut level: Vec<FrequentItemset> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .map(|(items, count)| FrequentItemset { items, count })
+        .collect();
+    level.sort_by(|a, b| a.items.cmp(&b.items));
+    level
+}
+
+/// n choose k, saturating.
+fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc
+            .saturating_mul((n - i) as u64)
+            .checked_div((i + 1) as u64)
+            .unwrap_or(u64::MAX);
+    }
+    acc
+}
+
+/// Call `f` with every sorted k-subset of sorted `items`.
+fn enumerate_subsets(items: &[u32], k: usize, buf: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
+    fn rec(items: &[u32], k: usize, start: usize, buf: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
+        if buf.len() == k {
+            f(buf);
+            return;
+        }
+        let needed = k - buf.len();
+        for i in start..=items.len().saturating_sub(needed) {
+            buf.push(items[i]);
+            rec(items, k, i + 1, buf, f);
+            buf.pop();
+        }
+    }
+    buf.clear();
+    rec(items, k, 0, buf, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransactionSet;
+
+    fn ts(rows: &[&[u32]]) -> TransactionSet {
+        let mut b = TransactionSet::builder();
+        for r in rows {
+            b.push(r.iter().copied());
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn support_resolution() {
+        assert_eq!(Support::Fraction(0.5).to_count(10), 5);
+        assert_eq!(Support::Fraction(0.0).to_count(10), 1);
+        assert_eq!(Support::Fraction(1.0).to_count(10), 10);
+        assert_eq!(Support::Fraction(0.25).to_count(10), 3); // ceil(2.5)
+        assert_eq!(Support::Count(0).to_count(10), 1);
+        assert_eq!(Support::Count(7).to_count(10), 7);
+        assert_eq!(Support::Fraction(2.0).to_count(10), 10); // clamped
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic Agrawal-style basket data.
+        let ts = ts(&[&[1, 3, 4], &[2, 3, 5], &[1, 2, 3, 5], &[2, 5]]);
+        let freq = frequent_itemsets(&ts, Support::Count(2), 3);
+        let as_pairs: Vec<(Vec<u32>, u64)> =
+            freq.iter().map(|f| (f.items.clone(), f.count)).collect();
+        assert!(as_pairs.contains(&(vec![1], 2)));
+        assert!(as_pairs.contains(&(vec![2], 3)));
+        assert!(as_pairs.contains(&(vec![3], 3)));
+        assert!(as_pairs.contains(&(vec![5], 3)));
+        assert!(as_pairs.contains(&(vec![1, 3], 2)));
+        assert!(as_pairs.contains(&(vec![2, 3], 2)));
+        assert!(as_pairs.contains(&(vec![2, 5], 3)));
+        assert!(as_pairs.contains(&(vec![3, 5], 2)));
+        assert!(as_pairs.contains(&(vec![2, 3, 5], 2)));
+        // Item 4 appears once → not frequent; no itemset contains it.
+        assert!(freq.iter().all(|f| !f.items.contains(&4)));
+        assert_eq!(freq.len(), 9);
+    }
+
+    #[test]
+    fn max_len_caps_exploration() {
+        let ts = ts(&[&[1, 2, 3], &[1, 2, 3], &[1, 2, 3]]);
+        let freq = frequent_itemsets(&ts, Support::Count(2), 2);
+        assert!(freq.iter().all(|f| f.items.len() <= 2));
+        assert_eq!(freq.len(), 3 + 3); // singletons + pairs
+        let deeper = frequent_itemsets(&ts, Support::Count(2), 3);
+        assert_eq!(deeper.len(), 7);
+        assert_eq!(frequent_itemsets(&ts, Support::Count(2), 0).len(), 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = TransactionSet::builder().finish();
+        assert!(frequent_itemsets(&empty, Support::Count(1), 3).is_empty());
+        let ts = ts(&[&[], &[]]);
+        assert!(frequent_itemsets(&ts, Support::Count(1), 3).is_empty());
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let ts = ts(&[&[0, 1], &[0, 1], &[0], &[1], &[0, 1, 2]]);
+        let freq = frequent_itemsets(&ts, Support::Count(1), 2);
+        let lookup = |items: &[u32]| {
+            freq.iter()
+                .find(|f| f.items == items)
+                .map(|f| f.count)
+                .unwrap_or(0)
+        };
+        assert_eq!(lookup(&[0]), 4);
+        assert_eq!(lookup(&[1]), 4);
+        assert_eq!(lookup(&[2]), 1);
+        assert_eq!(lookup(&[0, 1]), 3);
+        assert_eq!(lookup(&[0, 2]), 1);
+        assert_eq!(lookup(&[1, 2]), 1);
+    }
+
+    #[test]
+    fn binomial_sane() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(3, 3), 1);
+        assert_eq!(binomial(2, 3), 0);
+        assert_eq!(binomial(60, 30), 118_264_581_564_861_424);
+    }
+
+    #[test]
+    fn subset_enumeration() {
+        let mut seen = Vec::new();
+        let mut buf = Vec::new();
+        enumerate_subsets(&[1, 2, 3, 4], 2, &mut buf, &mut |s| {
+            seen.push(s.to_vec());
+        });
+        assert_eq!(
+            seen,
+            vec![
+                vec![1, 2],
+                vec![1, 3],
+                vec![1, 4],
+                vec![2, 3],
+                vec![2, 4],
+                vec![3, 4]
+            ]
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Exponential reference implementations used to verify the optimized
+//! miner.
+//!
+//! These enumerate every candidate itemset over the item universe, so they
+//! are only usable on tiny inputs — which is exactly what the property
+//! tests feed them.
+
+use crate::miner::{FrequentItemset, Support};
+use crate::rules::AssociationRule;
+use crate::transactions::{is_subset, TransactionSet};
+
+/// All frequent itemsets of size 1..=`max_len`, by brute force.
+pub fn frequent_itemsets(
+    ts: &TransactionSet,
+    min_support: Support,
+    max_len: usize,
+) -> Vec<FrequentItemset> {
+    let Some(max_item) = ts.max_item() else {
+        return Vec::new();
+    };
+    let min_count = min_support.to_count(ts.len());
+    let universe: Vec<u32> = (0..=max_item).collect();
+    let mut result = Vec::new();
+    let mut stack: Vec<(Vec<u32>, usize)> = vec![(Vec::new(), 0)];
+    while let Some((prefix, start)) = stack.pop() {
+        for (i, &item) in universe.iter().enumerate().skip(start) {
+            let mut candidate = prefix.clone();
+            candidate.push(item);
+            if candidate.len() > max_len {
+                break;
+            }
+            let count = ts.iter().filter(|t| is_subset(&candidate, t)).count() as u64;
+            if count >= min_count {
+                result.push(FrequentItemset {
+                    items: candidate.clone(),
+                    count,
+                });
+            }
+            // Even if infrequent we can stop this branch: support is
+            // antitone in the itemset (Apriori property).
+            if count >= min_count && candidate.len() < max_len {
+                stack.push((candidate, i + 1));
+            }
+        }
+    }
+    result.sort_by(|a, b| a.items.cmp(&b.items));
+    result
+}
+
+/// All association rules with confidence ≥ `min_confidence` whose union
+/// itemset is frequent, by brute force.
+pub fn rules(
+    ts: &TransactionSet,
+    min_support: Support,
+    min_confidence: f64,
+    max_len: usize,
+) -> Vec<AssociationRule> {
+    let itemsets = frequent_itemsets(ts, min_support, max_len);
+    crate::rules::association_rules(ts, &itemsets, min_confidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AprioriParams;
+    use proptest::prelude::*;
+
+    fn ts_from(rows: &[Vec<u32>]) -> TransactionSet {
+        let mut b = TransactionSet::builder();
+        for r in rows {
+            b.push(r.iter().copied());
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn agrees_on_textbook_example() {
+        let ts = ts_from(&[vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]]);
+        let fast = crate::frequent_itemsets(&ts, Support::Count(2), 3);
+        let slow = frequent_itemsets(&ts, Support::Count(2), 3);
+        assert_eq!(fast, slow);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_miner_equals_naive(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0u32..8, 0..6), 1..25),
+            min_count in 1u64..4,
+            max_len in 1usize..4,
+        ) {
+            let ts = ts_from(&rows);
+            let fast = crate::frequent_itemsets(&ts, Support::Count(min_count), max_len);
+            let slow = frequent_itemsets(&ts, Support::Count(min_count), max_len);
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_rules_equal_naive(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0u32..6, 0..5), 1..20),
+            conf in 0.0f64..1.0,
+        ) {
+            let ts = ts_from(&rows);
+            let params = AprioriParams {
+                min_support: Support::Count(1),
+                min_confidence: conf,
+                max_itemset_size: 3,
+            };
+            let fast = crate::mine(&ts, &params);
+            let slow = rules(&ts, Support::Count(1), conf, 3);
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_support_antitone(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0u32..8, 0..6), 1..25),
+        ) {
+            // Every subset of a frequent itemset appears with ≥ its count.
+            let ts = ts_from(&rows);
+            let freq = crate::frequent_itemsets(&ts, Support::Count(1), 3);
+            let lookup: std::collections::HashMap<&[u32], u64> =
+                freq.iter().map(|f| (f.items.as_slice(), f.count)).collect();
+            for f in &freq {
+                if f.items.len() >= 2 {
+                    for drop in 0..f.items.len() {
+                        let mut sub = f.items.clone();
+                        sub.remove(drop);
+                        let sub_count = lookup.get(sub.as_slice()).copied().unwrap_or(0);
+                        prop_assert!(sub_count >= f.count);
+                    }
+                }
+            }
+        }
+    }
+}

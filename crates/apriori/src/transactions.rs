@@ -1,0 +1,220 @@
+//! Transaction storage in compressed-sparse-row layout.
+
+/// An immutable collection of transactions.
+///
+/// Each transaction is a *set* of `u32` items, stored as a sorted,
+/// deduplicated slice. The whole collection lives in two flat vectors
+/// (CSR), so iterating a million weekly infobox transactions touches
+/// contiguous memory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransactionSet {
+    offsets: Vec<u32>,
+    items: Vec<u32>,
+    max_item: Option<u32>,
+}
+
+impl TransactionSet {
+    /// Start building a transaction set.
+    pub fn builder() -> TransactionSetBuilder {
+        TransactionSetBuilder::default()
+    }
+
+    /// Number of transactions (including empty ones).
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Whether there are no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th transaction as a sorted item slice.
+    pub fn transaction(&self, i: usize) -> &[u32] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.items[lo..hi]
+    }
+
+    /// Iterate over all transactions.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.len()).map(move |i| self.transaction(i))
+    }
+
+    /// Largest item id present, if any item exists.
+    pub fn max_item(&self) -> Option<u32> {
+        self.max_item
+    }
+
+    /// Total number of item occurrences across all transactions.
+    pub fn total_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether transaction `i` contains every item of the sorted slice
+    /// `itemset` (merge-based subset test).
+    pub fn contains_all(&self, i: usize, itemset: &[u32]) -> bool {
+        is_subset(itemset, self.transaction(i))
+    }
+}
+
+/// Whether sorted `needle` is a subset of sorted `haystack`.
+pub(crate) fn is_subset(needle: &[u32], haystack: &[u32]) -> bool {
+    let mut hay = haystack;
+    for &n in needle {
+        let pos = hay.partition_point(|&h| h < n);
+        if pos == hay.len() || hay[pos] != n {
+            return false;
+        }
+        hay = &hay[pos + 1..];
+    }
+    true
+}
+
+/// Incremental builder for [`TransactionSet`].
+#[derive(Debug, Default)]
+pub struct TransactionSetBuilder {
+    offsets: Vec<u32>,
+    items: Vec<u32>,
+    max_item: Option<u32>,
+}
+
+impl TransactionSetBuilder {
+    /// Append one transaction. Items are sorted and deduplicated; an empty
+    /// transaction is recorded (it still counts toward relative support).
+    pub fn push(&mut self, items: impl IntoIterator<Item = u32>) -> &mut Self {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        let start = self.items.len();
+        self.items.extend(items);
+        self.items[start..].sort_unstable();
+        let new_len = dedup_tail(&mut self.items, start);
+        self.items.truncate(new_len);
+        if let Some(&last) = self.items.last() {
+            if self.items.len() > start {
+                self.max_item = Some(self.max_item.map_or(last, |m| m.max(last)));
+            }
+        }
+        self.offsets.push(self.items.len() as u32);
+        self
+    }
+
+    /// Number of transactions pushed so far.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Whether nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finalize into an immutable [`TransactionSet`].
+    pub fn finish(mut self) -> TransactionSet {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        TransactionSet {
+            offsets: self.offsets,
+            items: self.items,
+            max_item: self.max_item,
+        }
+    }
+}
+
+/// Deduplicate the sorted tail `v[start..]` in place; returns the new
+/// logical length of `v`.
+fn dedup_tail(v: &mut [u32], start: usize) -> usize {
+    let mut write = start;
+    for read in start..v.len() {
+        if write == start || v[write - 1] != v[read] {
+            v[write] = v[read];
+            write += 1;
+        }
+    }
+    write
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn builds_sorted_deduped_transactions() {
+        let mut b = TransactionSet::builder();
+        b.push([3, 1, 2, 1, 3]);
+        b.push([]);
+        b.push([7]);
+        let ts = b.finish();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.transaction(0), &[1, 2, 3]);
+        assert_eq!(ts.transaction(1), &[] as &[u32]);
+        assert_eq!(ts.transaction(2), &[7]);
+        assert_eq!(ts.max_item(), Some(7));
+        assert_eq!(ts.total_items(), 4);
+    }
+
+    #[test]
+    fn empty_set() {
+        let ts = TransactionSet::builder().finish();
+        assert!(ts.is_empty());
+        assert_eq!(ts.len(), 0);
+        assert_eq!(ts.max_item(), None);
+    }
+
+    #[test]
+    fn subset_tests() {
+        let mut b = TransactionSet::builder();
+        b.push([1, 3, 5, 7]);
+        let ts = b.finish();
+        assert!(ts.contains_all(0, &[1, 7]));
+        assert!(ts.contains_all(0, &[]));
+        assert!(ts.contains_all(0, &[3, 5, 7]));
+        assert!(!ts.contains_all(0, &[2]));
+        assert!(!ts.contains_all(0, &[1, 2]));
+        assert!(!ts.contains_all(0, &[7, 8]));
+    }
+
+    #[test]
+    fn iter_matches_indexing() {
+        let mut b = TransactionSet::builder();
+        b.push([1, 2]);
+        b.push([3]);
+        let ts = b.finish();
+        let collected: Vec<&[u32]> = ts.iter().collect();
+        assert_eq!(collected, vec![ts.transaction(0), ts.transaction(1)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transactions_sorted_unique(
+            txs in proptest::collection::vec(
+                proptest::collection::vec(0u32..100, 0..20), 0..20)
+        ) {
+            let mut b = TransactionSet::builder();
+            for t in &txs {
+                b.push(t.iter().copied());
+            }
+            let ts = b.finish();
+            prop_assert_eq!(ts.len(), txs.len());
+            for (i, t) in txs.iter().enumerate() {
+                let mut expected: Vec<u32> = t.clone();
+                expected.sort_unstable();
+                expected.dedup();
+                prop_assert_eq!(ts.transaction(i), expected.as_slice());
+            }
+        }
+
+        #[test]
+        fn prop_is_subset_agrees_with_sets(
+            a in proptest::collection::btree_set(0u32..50, 0..10),
+            b in proptest::collection::btree_set(0u32..50, 0..20),
+        ) {
+            let av: Vec<u32> = a.iter().copied().collect();
+            let bv: Vec<u32> = b.iter().copied().collect();
+            prop_assert_eq!(is_subset(&av, &bv), a.is_subset(&b));
+        }
+    }
+}

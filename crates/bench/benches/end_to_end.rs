@@ -1,0 +1,28 @@
+//! End-to-end benchmark (experiment P1): the complete Table 1 evaluation
+//! — train on training + validation, predict and score all four window
+//! granularities — on the tiny corpus. This is the number to scale when
+//! estimating a full-Wikipedia deployment (the paper reports ~6 h for
+//! 25 M filtered changes on a 4-socket Xeon E7-8837).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wikistale_core::experiment::{run_paper_evaluation, ExperimentConfig};
+use wikistale_core::filters::FilterPipeline;
+use wikistale_core::split::EvalSplit;
+use wikistale_synth::{generate, SynthConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let corpus = generate(&SynthConfig::tiny());
+    let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+    let split = EvalSplit::for_span(filtered.time_span().unwrap()).unwrap();
+    let config = ExperimentConfig::default();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    group.bench_function("paper_evaluation_tiny", |bench| {
+        bench.iter(|| black_box(run_paper_evaluation(&filtered, &split, &config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Micro-benchmarks of the hot kernels (experiment P1): the normalized
+//! Manhattan distance of §3.2, Apriori mining of §3.3, string interning,
+//! and cube (de)serialization.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use wikistale_apriori::{frequent_itemsets, mine, AprioriParams, Support, TransactionSet};
+use wikistale_core::predictors::{change_distance, DistanceNorm};
+use wikistale_wikicube::{binio, Date, DateRange, Interner};
+
+fn sorted_days(rng: &mut StdRng, n: usize, span: i32) -> Vec<Date> {
+    let mut days: Vec<Date> = (0..n)
+        .map(|_| Date::EPOCH + rng.random_range(0..span))
+        .collect();
+    days.sort_unstable();
+    days
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let range = DateRange::with_len(Date::EPOCH, 4_836);
+    let mut group = c.benchmark_group("distance");
+    for &n in &[10usize, 100, 1_000] {
+        let a = sorted_days(&mut rng, n, 4_836);
+        let b = sorted_days(&mut rng, n, 4_836);
+        group.bench_function(format!("total_mass/{n}"), |bench| {
+            bench.iter(|| {
+                black_box(change_distance(
+                    black_box(&a),
+                    black_box(&b),
+                    range,
+                    DistanceNorm::TotalMass,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn weekly_like_transactions(rng: &mut StdRng, n_tx: usize, n_items: u32) -> TransactionSet {
+    let mut builder = TransactionSet::builder();
+    for _ in 0..n_tx {
+        let len = rng.random_range(1..6usize);
+        builder.push((0..len).map(|_| rng.random_range(0..n_items)));
+    }
+    builder.finish()
+}
+
+fn bench_apriori(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("apriori");
+    for &(n_tx, n_items) in &[(1_000usize, 20u32), (10_000, 50)] {
+        let ts = weekly_like_transactions(&mut rng, n_tx, n_items);
+        group.bench_function(
+            format!("frequent_itemsets/{n_tx}tx_{n_items}items"),
+            |bench| {
+                bench.iter(|| {
+                    black_box(frequent_itemsets(
+                        black_box(&ts),
+                        Support::Fraction(0.0025),
+                        2,
+                    ))
+                })
+            },
+        );
+        group.bench_function(format!("mine_rules/{n_tx}tx_{n_items}items"), |bench| {
+            bench.iter(|| black_box(mine(black_box(&ts), &AprioriParams::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interner(c: &mut Criterion) {
+    let words: Vec<String> = (0..10_000).map(|i| format!("prop_{}", i % 2_000)).collect();
+    c.bench_function("interner/10k_mixed_hits", |bench| {
+        bench.iter_batched(
+            Interner::new,
+            |mut interner| {
+                for w in &words {
+                    black_box(interner.intern(w));
+                }
+                interner
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_binio(c: &mut Criterion) {
+    let corpus = wikistale_synth::generate(&wikistale_synth::SynthConfig::tiny());
+    let bytes = binio::encode(&corpus.cube);
+    let mut group = c.benchmark_group("binio");
+    group.bench_function("encode_tiny_corpus", |bench| {
+        bench.iter(|| black_box(binio::encode(black_box(&corpus.cube))))
+    });
+    group.bench_function("decode_tiny_corpus", |bench| {
+        bench.iter(|| black_box(binio::decode(black_box(&bytes)).expect("valid")))
+    });
+    group.finish();
+}
+
+fn bench_wikitext(c: &mut Criterion) {
+    // A realistic page: a 30-parameter infobox with nested templates and
+    // links, plus surrounding article text.
+    let mut infobox = String::from("{{Infobox settlement\n");
+    for i in 0..30 {
+        infobox.push_str(&format!(
+            "| field_{i} = [[Link {i}|label]] with {{{{convert|{i}|km}}}} text\n"
+        ));
+    }
+    infobox.push_str("}}\n");
+    let page = format!("Intro text.\n{infobox}\n{}", "Body paragraph. ".repeat(200));
+    let mut group = c.benchmark_group("wikitext");
+    group.bench_function("extract_infoboxes/30_params", |bench| {
+        bench.iter(|| black_box(wikistale_wikitext::extract_infoboxes(black_box(&page))))
+    });
+    let revisions: Vec<wikistale_wikitext::PageDump> = (0..20)
+        .map(|i| wikistale_wikitext::PageDump {
+            title: format!("Page {i}"),
+            revisions: (0..5)
+                .map(|r| wikistale_wikitext::Revision {
+                    date: Date::EPOCH + r * 30,
+                    text: page.replace("field_0 =", &format!("field_0 = rev{r}")),
+                })
+                .collect(),
+        })
+        .collect();
+    group.bench_function("diff/20_pages_x_5_revisions", |bench| {
+        bench.iter(|| black_box(wikistale_wikitext::build_cube(black_box(&revisions))))
+    });
+    let xml = wikistale_wikitext::render_export(&revisions);
+    group.bench_function("parse_export/20_pages", |bench| {
+        bench.iter(|| black_box(wikistale_wikitext::parse_export(black_box(&xml)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance,
+    bench_apriori,
+    bench_interner,
+    bench_binio,
+    bench_wikitext
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks of the data-preparation pipeline (experiment P1): corpus
+//! generation, the §4 filter stages, and index construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wikistale_core::filters::FilterPipeline;
+use wikistale_synth::{generate, SynthConfig};
+use wikistale_wikicube::CubeIndex;
+
+fn bench_generate(c: &mut Criterion) {
+    let config = SynthConfig::tiny();
+    c.bench_function("synth/generate_tiny", |bench| {
+        bench.iter(|| black_box(generate(black_box(&config))))
+    });
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let corpus = generate(&SynthConfig::tiny());
+    let mut group = c.benchmark_group("filters");
+    group.bench_function("paper_pipeline_tiny", |bench| {
+        bench.iter(|| black_box(FilterPipeline::paper().apply(black_box(&corpus.cube))))
+    });
+    group.bench_function("dedup_only_tiny", |bench| {
+        let pipeline = FilterPipeline {
+            drop_bot_reverted: false,
+            dedup_days: true,
+            drop_creations_deletions: false,
+            min_changes: None,
+        };
+        bench.iter(|| black_box(pipeline.apply(black_box(&corpus.cube))))
+    });
+    group.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let corpus = generate(&SynthConfig::tiny());
+    let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+    c.bench_function("index/build_filtered_tiny", |bench| {
+        bench.iter(|| black_box(CubeIndex::build(black_box(&filtered))))
+    });
+}
+
+criterion_group!(benches, bench_generate, bench_filters, bench_index);
+criterion_main!(benches);

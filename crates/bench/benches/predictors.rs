@@ -1,0 +1,142 @@
+//! Benchmarks of predictor training and prediction (experiment P1, the
+//! per-predictor costs behind Table 1). The paper's full run takes ~6 h on
+//! a 4-socket Xeon for 25 M filtered changes; these benches track our
+//! cost per component so regressions are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wikistale_core::ensemble::or_ensemble;
+use wikistale_core::eval::truth_set;
+use wikistale_core::experiment::{ExperimentConfig, TrainedPredictors};
+use wikistale_core::filters::FilterPipeline;
+use wikistale_core::predictor::{ChangePredictor, EvalData};
+use wikistale_core::predictors::{
+    AssocParams, AssociationRulePredictor, FieldCorrelation, FieldCorrelationParams, MeanBaseline,
+};
+use wikistale_core::split::EvalSplit;
+use wikistale_synth::{generate, SynthConfig};
+use wikistale_wikicube::CubeIndex;
+
+struct Fixture {
+    filtered: wikistale_wikicube::ChangeCube,
+    index: CubeIndex,
+    split: EvalSplit,
+}
+
+fn fixture() -> Fixture {
+    let corpus = generate(&SynthConfig::tiny());
+    let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+    let split = EvalSplit::for_span(filtered.time_span().unwrap()).unwrap();
+    let index = CubeIndex::build(&filtered);
+    Fixture {
+        filtered,
+        index,
+        split,
+    }
+}
+
+fn bench_training(c: &mut Criterion) {
+    let f = fixture();
+    let data = EvalData::new(&f.filtered, &f.index);
+    let range = f.split.train_and_validation();
+    let mut group = c.benchmark_group("train");
+    group.bench_function("field_correlation", |bench| {
+        bench.iter(|| {
+            black_box(FieldCorrelation::train(
+                &data,
+                range,
+                FieldCorrelationParams::default(),
+            ))
+        })
+    });
+    group.bench_function("association_rules", |bench| {
+        bench.iter(|| {
+            black_box(AssociationRulePredictor::train(
+                &data,
+                range,
+                AssocParams::default(),
+            ))
+        })
+    });
+    group.bench_function("mean_baseline", |bench| {
+        bench.iter(|| black_box(MeanBaseline::train(&data, range)))
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let f = fixture();
+    let data = EvalData::new(&f.filtered, &f.index);
+    let trained = TrainedPredictors::train(
+        &data,
+        f.split.train_and_validation(),
+        &ExperimentConfig::default(),
+    );
+    let mut group = c.benchmark_group("predict");
+    for granularity in [1u32, 7, 365] {
+        group.bench_function(format!("field_correlation/{granularity}d"), |bench| {
+            bench.iter(|| black_box(trained.field_corr.predict(&data, f.split.test, granularity)))
+        });
+        group.bench_function(format!("association_rules/{granularity}d"), |bench| {
+            bench.iter(|| black_box(trained.assoc.predict(&data, f.split.test, granularity)))
+        });
+    }
+    group.bench_function("mean_baseline/7d", |bench| {
+        bench.iter(|| black_box(trained.mean.predict(&data, f.split.test, 7)))
+    });
+    group.bench_function("threshold_baseline/7d", |bench| {
+        bench.iter(|| black_box(trained.threshold.predict(&data, f.split.test, 7)))
+    });
+    group.finish();
+}
+
+fn bench_eval_ops(c: &mut Criterion) {
+    let f = fixture();
+    let data = EvalData::new(&f.filtered, &f.index);
+    let trained = TrainedPredictors::train(
+        &data,
+        f.split.train_and_validation(),
+        &ExperimentConfig::default(),
+    );
+    let fc = trained.field_corr.predict(&data, f.split.test, 7);
+    let ar = trained.assoc.predict(&data, f.split.test, 7);
+    let mut group = c.benchmark_group("eval");
+    group.bench_function("truth_set/7d", |bench| {
+        bench.iter(|| black_box(truth_set(&f.index, f.split.test, 7)))
+    });
+    group.bench_function("or_ensemble", |bench| {
+        bench.iter(|| black_box(or_ensemble(black_box(&fc), black_box(&ar))))
+    });
+    group.finish();
+}
+
+fn bench_detector(c: &mut Criterion) {
+    use wikistale_core::detector::{DetectorConfig, StalenessDetector};
+    let corpus = generate(&SynthConfig::tiny());
+    let mut group = c.benchmark_group("detector");
+    group.sample_size(20);
+    group.bench_function("train_from_raw_tiny", |bench| {
+        bench.iter(|| {
+            black_box(
+                StalenessDetector::train_from_raw(&corpus.cube, &DetectorConfig::default())
+                    .expect("trains"),
+            )
+        })
+    });
+    let detector =
+        StalenessDetector::train_from_raw(&corpus.cube, &DetectorConfig::default()).unwrap();
+    let week_end = wikistale_wikicube::Date::from_ymd(2019, 6, 3).unwrap();
+    group.bench_function("flag_week", |bench| {
+        bench.iter(|| black_box(detector.flag_week(black_box(week_end))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_training,
+    bench_prediction,
+    bench_eval_ops,
+    bench_detector
+);
+criterion_main!(benches);

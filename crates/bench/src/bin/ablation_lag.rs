@@ -1,0 +1,50 @@
+//! Experiment A3 — the **correlation-period ablation** (§3.2): the paper
+//! "tried different time periods (to, e.g., allow delayed updates), but
+//! same-day worked best on our dataset". This binary sweeps the
+//! delayed-update tolerance of the field-correlation training distance
+//! (0 = the paper's same-day choice) and reports test-set precision and
+//! recall for each lag.
+//!
+//! ```sh
+//! cargo run -p wikistale-bench --bin ablation_lag --release
+//! ```
+
+use wikistale_bench::run_experiment;
+use wikistale_core::eval::{evaluate, truth_set};
+use wikistale_core::predictor::{ChangePredictor, EvalData};
+use wikistale_core::predictors::{FieldCorrelation, FieldCorrelationParams};
+use wikistale_wikicube::CubeIndex;
+
+fn main() {
+    run_experiment("ablation_lag", |prepared, _rest| {
+        let index = CubeIndex::build(&prepared.filtered);
+        let data = EvalData::new(&prepared.filtered, &index);
+        let truth = truth_set(&index, prepared.split.test, 7);
+        println!("field-correlation delayed-update tolerance (θ = 0.1, 7-day windows)");
+        println!(
+            "{:>4} {:>8} {:>10} {:>10} {:>10}",
+            "lag", "rules", "P [%]", "R [%]", "#"
+        );
+        for lag_days in [0u32, 1, 2, 3, 5, 7] {
+            let fc = FieldCorrelation::train(
+                &data,
+                prepared.split.train_and_validation(),
+                FieldCorrelationParams {
+                    lag_days,
+                    ..FieldCorrelationParams::default()
+                },
+            );
+            let predictions = fc.predict(&data, prepared.split.test, 7);
+            let outcome = evaluate(&predictions, &truth);
+            println!(
+                "{:>3}d {:>8} {:>10.2} {:>10.2} {:>10}",
+                lag_days,
+                fc.num_rules(),
+                100.0 * outcome.precision(),
+                100.0 * outcome.recall(),
+                outcome.predictions
+            );
+        }
+        println!("(paper §3.2: same-day — lag 0 — worked best on their dataset)");
+    });
+}

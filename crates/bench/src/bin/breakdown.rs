@@ -1,0 +1,86 @@
+//! Experiment X5 — **per-template breakdown** of the OR-ensemble's test
+//! predictions: which templates carry the precision, and where do the
+//! false positives concentrate?
+//!
+//! The paper reports only corpus-level numbers; an operator deploying
+//! banners would want exactly this table to blocklist templates whose
+//! rules misfire (§5.3.3 attributes drift to renamed/deleted properties —
+//! a per-template view localizes it).
+//!
+//! ```sh
+//! cargo run -p wikistale-bench --bin breakdown --release
+//! ```
+
+use wikistale_bench::run_experiment;
+use wikistale_core::ensemble::or_ensemble;
+use wikistale_core::eval::truth_set;
+use wikistale_core::experiment::{ExperimentConfig, TrainedPredictors};
+use wikistale_core::predictor::{ChangePredictor, EvalData};
+use wikistale_wikicube::{CubeIndex, FxHashMap, TemplateId};
+
+fn main() {
+    run_experiment("breakdown", |prepared, _rest| {
+        let index = CubeIndex::build(&prepared.filtered);
+        let data = EvalData::new(&prepared.filtered, &index);
+        let trained = TrainedPredictors::train(
+            &data,
+            prepared.split.train_and_validation(),
+            &ExperimentConfig::default(),
+        );
+        let or = or_ensemble(
+            &trained.field_corr.predict(&data, prepared.split.test, 7),
+            &trained.assoc.predict(&data, prepared.split.test, 7),
+        );
+        let truth = truth_set(&index, prepared.split.test, 7);
+
+        let mut per_template: FxHashMap<TemplateId, (u64, u64)> = FxHashMap::default();
+        for &(pos, w) in or.items() {
+            let template = prepared
+                .filtered
+                .template_of(index.field(pos as usize).entity);
+            let entry = per_template.entry(template).or_insert((0, 0));
+            entry.0 += 1;
+            if truth.contains(pos, w) {
+                entry.1 += 1;
+            }
+        }
+
+        let mut rows: Vec<(TemplateId, u64, u64)> = per_template
+            .into_iter()
+            .map(|(t, (preds, tp))| (t, preds, tp))
+            .collect();
+        rows.sort_unstable_by_key(|&(t, preds, _)| (std::cmp::Reverse(preds), t));
+
+        println!("per-template OR-ensemble performance (7-day windows, test year)");
+        println!(
+            "{:<26} {:>8} {:>6} {:>6} {:>10}",
+            "template", "preds", "TP", "FP", "P [%]"
+        );
+        let mut below_target = 0;
+        for &(template, preds, tp) in rows.iter().take(20) {
+            let precision = tp as f64 / preds as f64;
+            if precision < wikistale_core::TARGET_PRECISION {
+                below_target += 1;
+            }
+            println!(
+                "{:<26} {:>8} {:>6} {:>6} {:>10.2}{}",
+                prepared.filtered.template_name(template),
+                preds,
+                tp,
+                preds - tp,
+                100.0 * precision,
+                if precision < wikistale_core::TARGET_PRECISION {
+                    "  ←"
+                } else {
+                    ""
+                }
+            );
+        }
+        println!(
+            "\n{} of the top {} templates fall below the 85 % target — candidates \
+             for per-template blocklisting or retraining.",
+            below_target,
+            rows.len().min(20)
+        );
+    });
+}

@@ -1,0 +1,53 @@
+//! Experiment F3 — regenerate **Figure 3**: the histogram of discovered
+//! association rules per infobox template (log-bucketed x-axis like the
+//! paper's plot).
+//!
+//! The paper finds 3,852 rules over 8,276 templates, 191 templates with
+//! exactly one rule, and one template (`infobox legislative election`)
+//! with more than 150; our corpus reproduces the skew at its own scale.
+//!
+//! Pass `--svg <path>` to additionally write the chart as an SVG file.
+//!
+//! ```sh
+//! cargo run -p wikistale-bench --bin figure3 --release [-- --scale small --svg figure3.svg]
+//! ```
+
+use wikistale_bench::run_experiment;
+use wikistale_core::experiment::{run_paper_evaluation, ExperimentConfig};
+use wikistale_core::report;
+
+/// The value following `--svg`, if present.
+fn svg_path(rest: &[String]) -> Option<String> {
+    rest.iter()
+        .position(|f| f == "--svg")
+        .and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn main() {
+    run_experiment("figure3", |prepared, rest| {
+        let results = run_paper_evaluation(
+            &prepared.filtered,
+            &prepared.split,
+            &ExperimentConfig::default(),
+        );
+        println!("{}", report::render_figure3(&results));
+        let ones = results
+            .rules_per_template
+            .iter()
+            .filter(|&&(_, n)| n == 1)
+            .count();
+        let max = results
+            .rules_per_template
+            .iter()
+            .map(|&(_, n)| n)
+            .max()
+            .unwrap_or(0);
+        println!("templates with exactly one rule: {ones} (paper: 191 of 8,276)");
+        println!("largest rule count for one template: {max} (paper: > 150)");
+        if let Some(path) = svg_path(rest) {
+            let svg = wikistale_core::figures::figure3_svg(&results);
+            std::fs::write(&path, svg).expect("write SVG");
+            eprintln!("figure3: wrote {path}");
+        }
+    });
+}

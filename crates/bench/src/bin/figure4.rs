@@ -1,0 +1,54 @@
+//! Experiment F4 — regenerate **Figure 4**: precision and recall per week
+//! of the test year (7-day windows) for field correlations, association
+//! rules, and both ensembles.
+//!
+//! The paper's observations to compare against: precision stays near or
+//! above the 85 % bar with a slight downward trend and a mid-year dip;
+//! recall stays broadly flat with the same dip.
+//!
+//! Pass `--svg <path>` to additionally write both panels as an SVG file.
+//!
+//! ```sh
+//! cargo run -p wikistale-bench --bin figure4 --release [-- --scale small --svg figure4.svg]
+//! ```
+
+use wikistale_bench::run_experiment;
+use wikistale_core::experiment::{run_paper_evaluation, ExperimentConfig};
+use wikistale_core::report;
+
+fn main() {
+    run_experiment("figure4", |prepared, rest| {
+        let results = run_paper_evaluation(
+            &prepared.filtered,
+            &prepared.split,
+            &ExperimentConfig::default(),
+        );
+        println!("{}", report::render_figure4(&results));
+        // Aggregate trend summary: first vs last quarter of the year.
+        if let Some(series) = &results.granularity(7).unwrap().weekly_series {
+            let quarter = |outcomes: &[wikistale_core::EvalOutcome]| {
+                let (tp, pred): (usize, usize) = outcomes
+                    .iter()
+                    .map(|o| (o.true_positives, o.predictions))
+                    .fold((0, 0), |(a, b), (c, d)| (a + c, b + d));
+                100.0 * tp as f64 / pred.max(1) as f64
+            };
+            let or = &series[3];
+            println!(
+                "OR-ensemble precision, first 13 weeks: {:.2} %  — last 13 weeks: {:.2} %",
+                quarter(&or[..13]),
+                quarter(&or[39..])
+            );
+            println!("(paper: slight downward trend, still above 85 % at year end)");
+        }
+        let svg_path = rest
+            .iter()
+            .position(|f| f == "--svg")
+            .and_then(|i| rest.get(i + 1).cloned());
+        if let Some(path) = svg_path {
+            let svg = wikistale_core::figures::figure4_svg(&results).expect("weekly series");
+            std::fs::write(&path, svg).expect("write SVG");
+            eprintln!("figure4: wrote {path}");
+        }
+    });
+}

@@ -1,0 +1,102 @@
+//! Experiments G1 / G2 — regenerate the **§5.2 grid searches** on the
+//! validation year (models trained on the training range only; selection
+//! rule: highest recall among candidates with precision ≥ 85 %).
+//!
+//! * `--theta`   sweeps the field-correlation threshold θ ∈ {0.01 … 0.15}
+//!   (paper's pick: 0.1 at 87.65 % precision / 5.19 % recall).
+//! * `--apriori` sweeps Apriori min-support × min-confidence ×
+//!   rule-validation fraction (paper's pick: 0.25 %, 60 %, 10 %).
+//!
+//! Without a selector both searches run.
+//!
+//! ```sh
+//! cargo run -p wikistale-bench --bin gridsearch --release -- --theta
+//! ```
+
+use wikistale_apriori::Support;
+use wikistale_bench::run_experiment;
+use wikistale_core::predictors::FieldCorrelationParams;
+use wikistale_core::tuning::{
+    apriori_grid_search, paper_apriori_grid, paper_theta_grid, theta_grid_search,
+};
+
+/// The paper quotes its grid-search numbers at daily granularity.
+const GRANULARITY: u32 = 1;
+
+fn main() {
+    run_experiment("gridsearch", |prepared, rest| {
+        let run_theta = rest.is_empty() || rest.iter().any(|f| f == "--theta");
+        let run_apriori = rest.is_empty() || rest.iter().any(|f| f == "--apriori");
+
+        if run_theta {
+            let search = theta_grid_search(
+                &prepared.filtered,
+                &prepared.split,
+                &FieldCorrelationParams::default(),
+                &paper_theta_grid(),
+                GRANULARITY,
+            );
+            println!("G1 — θ grid search (validation year, {GRANULARITY}-day windows)");
+            println!("{:>6} {:>10} {:>10} {:>10}", "theta", "P [%]", "R [%]", "#");
+            for (i, point) in search.points.iter().enumerate() {
+                println!(
+                    "{:>6.2} {:>10.2} {:>10.2} {:>10}{}",
+                    point.params.theta,
+                    100.0 * point.outcome.precision(),
+                    100.0 * point.outcome.recall(),
+                    point.outcome.predictions,
+                    if search.best == Some(i) {
+                        "   ← selected"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            match search.best_params() {
+                Some(p) => println!("selected θ = {:.2} (paper selected 0.10)\n", p.theta),
+                None => println!("no θ met the 85 % precision target\n"),
+            }
+        }
+
+        if run_apriori {
+            let search = apriori_grid_search(
+                &prepared.filtered,
+                &prepared.split,
+                paper_apriori_grid(),
+                GRANULARITY,
+            );
+            println!("G2 — Apriori grid search (validation year, {GRANULARITY}-day windows)");
+            println!(
+                "{:>9} {:>6} {:>6} {:>10} {:>10} {:>10}",
+                "support", "conf", "frac", "P [%]", "R [%]", "#"
+            );
+            for (i, point) in search.points.iter().enumerate() {
+                let support = match point.params.apriori.min_support {
+                    Support::Fraction(f) => f,
+                    Support::Count(c) => c as f64,
+                };
+                println!(
+                    "{:>9.4} {:>6.2} {:>6.2} {:>10.2} {:>10.2} {:>10}{}",
+                    support,
+                    point.params.apriori.min_confidence,
+                    point.params.validation_fraction,
+                    100.0 * point.outcome.precision(),
+                    100.0 * point.outcome.recall(),
+                    point.outcome.predictions,
+                    if search.best == Some(i) {
+                        "   ← selected"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            match search.best_params() {
+                Some(p) => println!(
+                    "selected support {:?}, confidence {:.2}, fraction {:.2} (paper: 0.0025 / 0.60 / 0.10)",
+                    p.apriori.min_support, p.apriori.min_confidence, p.validation_fraction
+                ),
+                None => println!("no Apriori configuration met the 85 % precision target"),
+            }
+        }
+    });
+}

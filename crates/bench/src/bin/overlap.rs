@@ -1,0 +1,31 @@
+//! Experiment O1 — regenerate the **§5.3.4 overlap analysis**: how much
+//! of the field-correlation and association-rule prediction sets is
+//! shared (the paper reports 37–42 %, meaning 58–63 % of each predictor's
+//! predictions are unique and feed the OR-ensemble's recall).
+//!
+//! ```sh
+//! cargo run -p wikistale-bench --bin overlap --release [-- --scale small]
+//! ```
+
+use wikistale_bench::run_experiment;
+use wikistale_core::experiment::{run_paper_evaluation, ExperimentConfig};
+use wikistale_core::report;
+
+fn main() {
+    run_experiment("overlap", |prepared, _rest| {
+        let results = run_paper_evaluation(
+            &prepared.filtered,
+            &prepared.split,
+            &ExperimentConfig::default(),
+        );
+        println!("{}", report::render_overlap(&results));
+        for g in &results.per_granularity {
+            let o = g.fc_ar_overlap;
+            let or_unique = o.a_total + o.b_total - 2 * o.shared;
+            println!(
+                "{:>4}d: {} of {} OR-ensemble predictions come from exactly one predictor",
+                g.granularity, or_unique, g.or_ensemble.predictions
+            );
+        }
+    });
+}

@@ -1,0 +1,54 @@
+//! Experiment X2 — the **retraining-cadence study** behind §5.3.3: "with
+//! decreasing precision and slightly decreasing recall, we recommend
+//! retraining at least once per year to maintain both high precision and
+//! recall."
+//!
+//! This binary evaluates the test year with models whose training data was
+//! cut off 0, 1, 2, and 3 years before the test start — i.e. models that
+//! have not been retrained for that long. Rule sets go stale as fields are
+//! created, renamed, and deleted, so precision and especially recall decay
+//! with the cutoff age.
+//!
+//! ```sh
+//! cargo run -p wikistale-bench --bin retraining --release
+//! ```
+
+use wikistale_bench::run_experiment;
+use wikistale_core::ensemble::or_ensemble;
+use wikistale_core::eval::{evaluate, truth_set};
+use wikistale_core::experiment::{ExperimentConfig, TrainedPredictors};
+use wikistale_core::predictor::{ChangePredictor, EvalData};
+use wikistale_wikicube::{CubeIndex, DateRange};
+
+fn main() {
+    run_experiment("retraining", |prepared, _rest| {
+        let index = CubeIndex::build(&prepared.filtered);
+        let data = EvalData::new(&prepared.filtered, &index);
+        let truth = truth_set(&index, prepared.split.test, 7);
+        let full_train = prepared.split.train_and_validation();
+
+        println!("model age vs test-year performance (7-day windows)");
+        println!(
+            "{:>10} {:>9} {:>9} {:>10} {:>10} {:>10}",
+            "cutoff", "FC rules", "AR rules", "P [%]", "R [%]", "#"
+        );
+        for years_stale in 0u32..4 {
+            let cutoff = full_train.end() - (years_stale * 365) as i32;
+            let train = DateRange::new(full_train.start(), cutoff);
+            let trained = TrainedPredictors::train(&data, train, &ExperimentConfig::default());
+            let fc = trained.field_corr.predict(&data, prepared.split.test, 7);
+            let ar = trained.assoc.predict(&data, prepared.split.test, 7);
+            let outcome = evaluate(&or_ensemble(&fc, &ar), &truth);
+            println!(
+                "{:>7} yr {:>9} {:>9} {:>10.2} {:>10.2} {:>10}",
+                years_stale,
+                trained.field_corr.num_rules(),
+                trained.assoc.num_rules(),
+                100.0 * outcome.precision(),
+                100.0 * outcome.recall(),
+                outcome.predictions
+            );
+        }
+        println!("(paper §5.3.3: retrain at least once per year)");
+    });
+}

@@ -1,0 +1,33 @@
+//! Experiment T1 — regenerate **Table 1**: precision, recall, and number
+//! of predictions for all six predictors at 1/7/30/365-day windows,
+//! printed next to the paper's published values.
+//!
+//! Pass `--markdown` for a GitHub-flavoured table with 95 % confidence
+//! intervals on the measured precision.
+//!
+//! ```sh
+//! cargo run -p wikistale-bench --bin table1 --release [-- --scale small --seed N --markdown]
+//! ```
+
+use wikistale_bench::run_experiment;
+use wikistale_core::experiment::{run_paper_evaluation, ExperimentConfig};
+use wikistale_core::report;
+
+fn main() {
+    run_experiment("table1", |prepared, rest| {
+        let results = run_paper_evaluation(
+            &prepared.filtered,
+            &prepared.split,
+            &ExperimentConfig::default(),
+        );
+        if rest.iter().any(|f| f == "--markdown") {
+            println!("{}", report::render_table1_markdown(&results));
+        } else {
+            println!("{}", report::render_table1_vs_paper(&results));
+        }
+        println!(
+            "rules: {} field correlations, {} association rules, {} covered entities",
+            results.num_field_corr_rules, results.num_assoc_rules, results.covered_entities
+        );
+    });
+}

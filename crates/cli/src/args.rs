@@ -1,0 +1,136 @@
+//! Tiny flag parser: `--key value` pairs plus positional words, no
+//! external dependencies.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals in order, flags as key → value
+/// (`--flag` without a value stores an empty string).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse raw arguments. A token starting with `--` is a flag; it
+    /// consumes the following token as its value unless that token is
+    /// itself a flag (then it is boolean).
+    pub fn parse(argv: &[String]) -> Args {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let tok = &argv[i];
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = argv
+                    .get(i + 1)
+                    .filter(|next| !next.starts_with("--"))
+                    .cloned();
+                match value {
+                    Some(v) => {
+                        args.flags.insert(name.to_owned(), v);
+                        i += 2;
+                    }
+                    None => {
+                        args.flags.insert(name.to_owned(), String::new());
+                        i += 1;
+                    }
+                }
+            } else {
+                args.positional.push(tok.clone());
+                i += 1;
+            }
+        }
+        args
+    }
+
+    /// Positional argument `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Raw string value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Whether `--name` was given at all (with or without a value).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    /// Optional typed flag; errors only on an unparseable value.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{name}: {raw:?}")),
+        }
+    }
+
+    /// Flags the command did not declare — catches typos like `--ouput`.
+    pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
+        self.flags
+            .keys()
+            .filter(|k| !known.contains(&k.as_str()))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = parse(&["generate", "--preset", "small", "--out", "x.wcube"]);
+        assert_eq!(a.positional(0), Some("generate"));
+        assert_eq!(a.get("preset"), Some("small"));
+        assert_eq!(a.get("out"), Some("x.wcube"));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.positional(1), None);
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = parse(&["evaluate", "--vs-paper", "--in", "f.wcube"]);
+        assert!(a.has("vs-paper"));
+        assert_eq!(a.get("vs-paper"), Some(""));
+        assert_eq!(a.get("in"), Some("f.wcube"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let a = parse(&["--a", "--b", "v"]);
+        assert_eq!(a.get("a"), Some(""));
+        assert_eq!(a.get("b"), Some("v"));
+    }
+
+    #[test]
+    fn typed_and_required() {
+        let a = parse(&["--seed", "42", "--theta", "0.1", "--bad", "x"]);
+        assert_eq!(a.get_parsed::<u64>("seed").unwrap(), Some(42));
+        assert_eq!(a.get_parsed::<f64>("theta").unwrap(), Some(0.1));
+        assert_eq!(a.get_parsed::<u64>("missing").unwrap(), None);
+        assert!(a.get_parsed::<u64>("bad").is_err());
+        assert!(a.require("seed").is_ok());
+        assert!(a.require("nope").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let a = parse(&["--preset", "small", "--ouput", "typo"]);
+        assert_eq!(a.unknown_flags(&["preset", "out"]), vec!["ouput"]);
+    }
+}

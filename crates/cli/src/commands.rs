@@ -1,0 +1,669 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use std::path::Path;
+use wikistale_apriori::Support;
+use wikistale_core::experiment::{run_paper_evaluation, ExperimentConfig};
+use wikistale_core::filters::FilterPipeline;
+use wikistale_core::predictors::DistanceNorm;
+use wikistale_core::report;
+use wikistale_core::split::EvalSplit;
+use wikistale_synth::SynthConfig;
+use wikistale_wikicube::{binio, ChangeCube, CorpusStats, CubeIndex, Date, DateRange};
+
+const USAGE: &str = "\
+wikistale — detect stale data in Wikipedia infoboxes (EDBT 2023 reproduction)
+
+USAGE:
+  wikistale generate --out <cube> [--preset tiny|small|medium] [--seed N] [--scale F]
+  wikistale ingest   --xml <dump.xml> --out <cube>
+  wikistale stats    --in <cube>
+  wikistale filter   --in <cube> --out <cube> [--no-min-changes]
+  wikistale evaluate --in <filtered-cube> [--vs-paper] [--theta F]
+                     [--support F] [--confidence F] [--day-count-norm]
+  wikistale monitor  --in <filtered-cube> --at YYYY-MM-DD [--window DAYS]
+  wikistale export   --in <cube> --xml <dump.xml>
+  wikistale slice    --in <cube> --from YYYY-MM-DD --to YYYY-MM-DD --out <cube>
+  wikistale merge    --out <cube> <cube…>
+  wikistale anomalies --in <cube> [--limit N]
+  wikistale top      --in <cube> --by template|property|page [--k N] [--kind create|update|delete]
+  wikistale figures  --in <filtered-cube> --out-dir <dir>
+
+Cube files use the versioned wikicube binary format (.wcube).
+";
+
+/// Dispatch `argv`; returns an error message for the user on failure.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    match args.positional(0) {
+        None | Some("help") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some("generate") => cmd_generate(&args),
+        Some("ingest") => cmd_ingest(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("filter") => cmd_filter(&args),
+        Some("evaluate") => cmd_evaluate(&args),
+        Some("monitor") => cmd_monitor(&args),
+        Some("export") => cmd_export(&args),
+        Some("slice") => cmd_slice(&args),
+        Some("merge") => cmd_merge(&args),
+        Some("anomalies") => cmd_anomalies(&args),
+        Some("top") => cmd_top(&args),
+        Some("figures") => cmd_figures(&args),
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), String> {
+    let unknown = args.unknown_flags(known);
+    if unknown.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unknown flag(s): --{}", unknown.join(", --")))
+    }
+}
+
+fn load_cube(path: &str) -> Result<ChangeCube, String> {
+    binio::read_from_path(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn save_cube(cube: &ChangeCube, path: &str) -> Result<(), String> {
+    binio::write_to_path(cube, Path::new(path)).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["preset", "seed", "scale", "out"])?;
+    let mut config = match args.get("preset").unwrap_or("small") {
+        "tiny" => SynthConfig::tiny(),
+        "small" => SynthConfig::small(),
+        "medium" => SynthConfig::medium(),
+        other => return Err(format!("unknown preset {other:?} (tiny|small|medium)")),
+    };
+    if let Some(seed) = args.get_parsed::<u64>("seed")? {
+        config.seed = seed;
+    }
+    if let Some(scale) = args.get_parsed::<f64>("scale")? {
+        if scale <= 0.0 {
+            return Err("--scale must be positive".into());
+        }
+        config = config.scaled(scale);
+    }
+    let out = args.require("out")?;
+    let corpus = wikistale_synth::try_generate(&config)?;
+    save_cube(&corpus.cube, out)?;
+    println!(
+        "generated {} changes over {} entities / {} templates → {out}",
+        corpus.cube.num_changes(),
+        corpus.cube.num_entities(),
+        corpus.cube.num_templates()
+    );
+    println!(
+        "ground truth: {} forgotten updates (true staleness)",
+        corpus.ground_truth.len()
+    );
+    Ok(())
+}
+
+fn cmd_ingest(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["xml", "out", "all-namespaces"])?;
+    let xml_path = args.require("xml")?;
+    let out = args.require("out")?;
+    let all_namespaces = args.has("all-namespaces");
+    // Stream page by page: full-history dumps do not fit in memory.
+    let file = std::fs::File::open(xml_path).map_err(|e| format!("cannot read {xml_path}: {e}"))?;
+    let mut acc = wikistale_wikitext::diff::CubeAccumulator::new();
+    let mut skipped = 0usize;
+    for page in wikistale_wikitext::PageStream::new(std::io::BufReader::new(file)) {
+        let page = page.map_err(|e| e.to_string())?;
+        if all_namespaces || wikistale_wikitext::diff::is_article_title(&page.title) {
+            acc.add_page(&page);
+        } else {
+            skipped += 1;
+        }
+    }
+    let pages = acc.pages_seen();
+    let cube = acc.finish();
+    save_cube(&cube, out)?;
+    println!(
+        "ingested {} pages ({} non-article pages skipped) → {} changes over {} infoboxes → {out}",
+        pages,
+        skipped,
+        cube.num_changes(),
+        cube.num_entities()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["in"])?;
+    let cube = load_cube(args.require("in")?)?;
+    let stats = CorpusStats::compute(&cube);
+    println!("changes        {}", stats.total_changes);
+    println!(
+        "  creates      {} ({:.2} %)   [paper: 50.6 %]",
+        stats.by_kind[0],
+        100.0 * stats.create_fraction()
+    );
+    println!(
+        "  updates      {} ({:.2} %)",
+        stats.by_kind[1],
+        100.0 * stats.by_kind[1] as f64 / stats.total_changes.max(1) as f64
+    );
+    println!(
+        "  deletes      {} ({:.2} %)   [paper: 20.3 %]",
+        stats.by_kind[2],
+        100.0 * stats.delete_fraction()
+    );
+    println!(
+        "bot-reverted   {} ({:.4} %)  [paper: 0.008 %]",
+        stats.bot_reverted,
+        100.0 * stats.bot_reverted_fraction()
+    );
+    println!(
+        "same-day dups  {} ({:.2} %)  [paper: 19.185 %]",
+        stats.same_day_duplicates,
+        100.0 * stats.same_day_duplicate_fraction()
+    );
+    println!("fields         {}", stats.distinct_fields);
+    println!(
+        "  sparse (<{}) {}",
+        stats.min_changes_threshold, stats.fields_below_min_changes
+    );
+    println!("entities       {}", stats.active_entities);
+    println!("templates      {}", stats.active_templates);
+    if let Some(span) = stats.time_span {
+        println!("span           {span}");
+    }
+    Ok(())
+}
+
+fn cmd_filter(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["in", "out", "no-min-changes"])?;
+    let cube = load_cube(args.require("in")?)?;
+    let out = args.require("out")?;
+    let pipeline = if args.has("no-min-changes") {
+        FilterPipeline::without_min_changes()
+    } else {
+        FilterPipeline::paper()
+    };
+    let (filtered, report) = pipeline.apply(&cube);
+    for (i, stage) in report.stages.iter().enumerate() {
+        println!(
+            "{:<28} removed {:>9} ({:>6.3} % of original)",
+            stage.name,
+            stage.removed,
+            100.0 * report.removed_fraction_of_original(i)
+        );
+    }
+    println!(
+        "surviving                    {:>9} ({:>6.3} % of original)  [paper: 9.2 %]",
+        filtered.num_changes(),
+        100.0 * report.surviving_fraction()
+    );
+    save_cube(&filtered, out)?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn experiment_config(args: &Args) -> Result<ExperimentConfig, String> {
+    let mut config = ExperimentConfig::default();
+    if let Some(theta) = args.get_parsed::<f64>("theta")? {
+        config.field_corr.theta = theta;
+    }
+    if args.has("day-count-norm") {
+        config.field_corr.norm = DistanceNorm::DayCount;
+    }
+    if let Some(support) = args.get_parsed::<f64>("support")? {
+        config.assoc.apriori.min_support = Support::Fraction(support);
+    }
+    if let Some(confidence) = args.get_parsed::<f64>("confidence")? {
+        config.assoc.apriori.min_confidence = confidence;
+    }
+    Ok(config)
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    reject_unknown(
+        args,
+        &[
+            "in",
+            "vs-paper",
+            "theta",
+            "support",
+            "confidence",
+            "day-count-norm",
+        ],
+    )?;
+    let cube = load_cube(args.require("in")?)?;
+    let span = cube
+        .time_span()
+        .ok_or("cube is empty — nothing to evaluate")?;
+    let split = EvalSplit::for_span(span)
+        .ok_or("cube spans less than the two years needed for validation + test")?;
+    let config = experiment_config(args)?;
+    let results = run_paper_evaluation(&cube, &split, &config);
+    if args.has("vs-paper") {
+        println!("{}", report::render_table1_vs_paper(&results));
+    } else {
+        println!("{}", report::render_table1(&results));
+    }
+    println!("{}", report::render_overlap(&results));
+    println!("{}", report::render_figure3(&results));
+    Ok(())
+}
+
+fn cmd_monitor(args: &Args) -> Result<(), String> {
+    reject_unknown(
+        args,
+        &[
+            "in",
+            "at",
+            "window",
+            "theta",
+            "support",
+            "confidence",
+            "limit",
+        ],
+    )?;
+    let cube = load_cube(args.require("in")?)?;
+    let at: Date = args
+        .require("at")?
+        .parse()
+        .map_err(|e| format!("--at: {e}"))?;
+    let window: u32 = args.get_parsed::<u32>("window")?.unwrap_or(7);
+    if window == 0 {
+        return Err("--window must be positive".into());
+    }
+    let limit: usize = args.get_parsed::<usize>("limit")?.unwrap_or(25);
+    let span = cube.time_span().ok_or("cube is empty")?;
+    let window_range = DateRange::new(at - window as i32, at);
+    if window_range.start() <= span.start() {
+        return Err(format!(
+            "--at {at} leaves no history before the window (corpus starts {})",
+            span.start()
+        ));
+    }
+
+    // The deployment facade: filter (idempotent on already-filtered
+    // cubes), train on everything before the window, flag with
+    // explanations. The §6 seasonal extension is enabled — it only adds
+    // banners.
+    let detector_config = wikistale_core::DetectorConfig {
+        experiment: experiment_config(args)?,
+        seasonal: Some(wikistale_core::predictors::SeasonalParams::default()),
+        ..Default::default()
+    };
+    let detector = wikistale_core::StalenessDetector::train_until(
+        &cube,
+        window_range.start(),
+        &detector_config,
+    )
+    .map_err(|e| e.to_string())?;
+    let flags = detector.flag(window_range);
+    println!(
+        "{} stale-candidate banners in [{} .. {}) — showing up to {limit}:",
+        flags.len(),
+        window_range.start(),
+        window_range.end()
+    );
+    for flag in flags.iter().take(limit) {
+        print!("{}", flag.render(&detector.data()));
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["in", "xml"])?;
+    let cube = load_cube(args.require("in")?)?;
+    let xml_path = args.require("xml")?;
+    let pages = wikistale_wikitext::cube_to_dump(&cube);
+    let xml = wikistale_wikitext::render_export(&pages);
+    std::fs::write(xml_path, xml).map_err(|e| format!("cannot write {xml_path}: {e}"))?;
+    println!(
+        "exported {} changes as {} pages → {xml_path}",
+        cube.num_changes(),
+        pages.len()
+    );
+    Ok(())
+}
+
+fn cmd_slice(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["in", "from", "to", "out"])?;
+    let cube = load_cube(args.require("in")?)?;
+    let from: Date = args
+        .require("from")?
+        .parse()
+        .map_err(|e| format!("--from: {e}"))?;
+    let to: Date = args
+        .require("to")?
+        .parse()
+        .map_err(|e| format!("--to: {e}"))?;
+    if to <= from {
+        return Err("--to must be after --from".into());
+    }
+    let out = args.require("out")?;
+    let sliced = wikistale_wikicube::slice(&cube, DateRange::new(from, to));
+    save_cube(&sliced, out)?;
+    println!(
+        "sliced [{from} .. {to}): {} of {} changes → {out}",
+        sliced.num_changes(),
+        cube.num_changes()
+    );
+    Ok(())
+}
+
+fn cmd_merge(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["out"])?;
+    let out = args.require("out")?;
+    let mut inputs = Vec::new();
+    let mut i = 1;
+    while let Some(path) = args.positional(i) {
+        inputs.push(load_cube(path)?);
+        i += 1;
+    }
+    if inputs.len() < 2 {
+        return Err("merge needs at least two input cubes".into());
+    }
+    let merged = wikistale_wikicube::merge(inputs.iter()).map_err(|e| e.to_string())?;
+    save_cube(&merged, out)?;
+    println!(
+        "merged {} cubes into {} changes over {} entities → {out}",
+        inputs.len(),
+        merged.num_changes(),
+        merged.num_entities()
+    );
+    Ok(())
+}
+
+fn cmd_top(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["in", "by", "k", "kind"])?;
+    let cube = load_cube(args.require("in")?)?;
+    let k: usize = args.get_parsed::<usize>("k")?.unwrap_or(20);
+    let mut query = wikistale_wikicube::olap::CubeQuery::new(&cube);
+    if let Some(kind) = args.get("kind") {
+        query = query.of_kind(match kind {
+            "create" => wikistale_wikicube::ChangeKind::Create,
+            "update" => wikistale_wikicube::ChangeKind::Update,
+            "delete" => wikistale_wikicube::ChangeKind::Delete,
+            other => return Err(format!("unknown kind {other:?} (create|update|delete)")),
+        });
+    }
+    use wikistale_wikicube::olap::top_k;
+    match args.require("by")? {
+        "template" => {
+            for (id, n) in top_k(&query.counts_by_template(), k) {
+                println!("{n:>10}  {}", cube.template_name(id));
+            }
+        }
+        "property" => {
+            for (id, n) in top_k(&query.counts_by_property(), k) {
+                println!("{n:>10}  {}", cube.property_name(id));
+            }
+        }
+        "page" => {
+            for (id, n) in top_k(&query.counts_by_page(), k) {
+                println!("{n:>10}  {}", cube.page_title(id));
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown dimension {other:?} (template|property|page)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn cmd_figures(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["in", "out-dir"])?;
+    let cube = load_cube(args.require("in")?)?;
+    let out_dir = std::path::Path::new(args.require("out-dir")?);
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let span = cube.time_span().ok_or("cube is empty")?;
+    let split = EvalSplit::for_span(span)
+        .ok_or("cube spans less than the two years needed for validation + test")?;
+    let results = run_paper_evaluation(&cube, &split, &ExperimentConfig::default());
+    let f3 = out_dir.join("figure3.svg");
+    std::fs::write(&f3, wikistale_core::figures::figure3_svg(&results))
+        .map_err(|e| format!("cannot write {}: {e}", f3.display()))?;
+    println!("wrote {}", f3.display());
+    if let Some(svg) = wikistale_core::figures::figure4_svg(&results) {
+        let f4 = out_dir.join("figure4.svg");
+        std::fs::write(&f4, svg).map_err(|e| format!("cannot write {}: {e}", f4.display()))?;
+        println!("wrote {}", f4.display());
+    }
+    Ok(())
+}
+
+fn cmd_anomalies(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["in", "limit"])?;
+    let cube = load_cube(args.require("in")?)?;
+    let limit: usize = args.get_parsed::<usize>("limit")?.unwrap_or(25);
+    let index = CubeIndex::build(&cube);
+    let anomalies = wikistale_core::find_counter_anomalies(
+        &cube,
+        &index,
+        &wikistale_core::AnomalyParams::default(),
+    );
+    println!(
+        "{} counter anomalies (the §5.4 typo pattern) — showing up to {limit}:",
+        anomalies.len()
+    );
+    for a in anomalies.iter().take(limit) {
+        println!(
+            "  {} {:<40} {:<24} {} → {} ({})",
+            a.day,
+            cube.page_title(cube.page_of(a.field.entity)),
+            cube.property_name(a.field.property),
+            a.previous,
+            a.value,
+            match a.kind {
+                wikistale_core::AnomalyKind::Collapse => "suspicious collapse",
+                wikistale_core::AnomalyKind::Correction => "likely bulk correction",
+            }
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_words(words: &[&str]) -> Result<(), String> {
+        run(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run_words(&[]).is_ok());
+        assert!(run_words(&["help"]).is_ok());
+        let err = run_words(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = run_words(&["generate", "--ouput", "x"]).unwrap_err();
+        assert!(err.contains("--ouput"), "{err}");
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        let err = run_words(&["generate", "--preset", "tiny"]).unwrap_err();
+        assert!(err.contains("--out"));
+        let err = run_words(&["generate", "--preset", "nope", "--out", "/tmp/x"]).unwrap_err();
+        assert!(err.contains("unknown preset"));
+    }
+
+    #[test]
+    fn full_cli_round_trip_on_tiny_corpus() {
+        let dir = std::env::temp_dir().join("wikistale-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.wcube");
+        let filtered = dir.join("filtered.wcube");
+        run_words(&[
+            "generate",
+            "--preset",
+            "tiny",
+            "--out",
+            raw.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_words(&["stats", "--in", raw.to_str().unwrap()]).unwrap();
+        run_words(&[
+            "filter",
+            "--in",
+            raw.to_str().unwrap(),
+            "--out",
+            filtered.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_words(&["evaluate", "--in", filtered.to_str().unwrap(), "--vs-paper"]).unwrap();
+        run_words(&[
+            "monitor",
+            "--in",
+            filtered.to_str().unwrap(),
+            "--at",
+            "2019-06-01",
+            "--window",
+            "7",
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn monitor_rejects_bad_dates_and_windows() {
+        let dir = std::env::temp_dir().join("wikistale-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.wcube");
+        run_words(&[
+            "generate",
+            "--preset",
+            "tiny",
+            "--out",
+            raw.to_str().unwrap(),
+        ])
+        .unwrap();
+        let raw = raw.to_str().unwrap();
+        assert!(run_words(&["monitor", "--in", raw, "--at", "junk"]).is_err());
+        assert!(run_words(&[
+            "monitor",
+            "--in",
+            raw,
+            "--at",
+            "2019-06-01",
+            "--window",
+            "0"
+        ])
+        .is_err());
+        assert!(run_words(&["monitor", "--in", raw, "--at", "1990-01-01"]).is_err());
+        std::fs::remove_dir_all(std::env::temp_dir().join("wikistale-cli-test2")).ok();
+    }
+
+    #[test]
+    fn evaluate_rejects_missing_file() {
+        assert!(run_words(&["evaluate", "--in", "/nonexistent/x.wcube"]).is_err());
+    }
+
+    #[test]
+    fn top_and_anomalies_commands() {
+        let dir = std::env::temp_dir().join("wikistale-cli-top-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.wcube");
+        let raw_s = raw.to_str().unwrap();
+        run_words(&["generate", "--preset", "tiny", "--out", raw_s]).unwrap();
+        run_words(&["top", "--in", raw_s, "--by", "template", "--k", "5"]).unwrap();
+        run_words(&["top", "--in", raw_s, "--by", "property", "--kind", "update"]).unwrap();
+        run_words(&["top", "--in", raw_s, "--by", "page"]).unwrap();
+        assert!(run_words(&["top", "--in", raw_s, "--by", "color"]).is_err());
+        assert!(run_words(&["top", "--in", raw_s, "--by", "page", "--kind", "x"]).is_err());
+        run_words(&["anomalies", "--in", raw_s, "--limit", "3"]).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_slice_merge_round_trip() {
+        let dir = std::env::temp_dir().join("wikistale-cli-ops-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.wcube");
+        let raw_s = raw.to_str().unwrap();
+        run_words(&["generate", "--preset", "tiny", "--out", raw_s]).unwrap();
+
+        // Export to XML and re-ingest: change counts survive (the tiny
+        // corpus's same-day churn collapses to snapshots, so counts can
+        // only shrink, never grow).
+        let xml = dir.join("dump.xml");
+        let back = dir.join("back.wcube");
+        run_words(&["export", "--in", raw_s, "--xml", xml.to_str().unwrap()]).unwrap();
+        run_words(&[
+            "ingest",
+            "--xml",
+            xml.to_str().unwrap(),
+            "--out",
+            back.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(back.exists());
+
+        // Slice into two halves and merge back: no changes lost.
+        let left = dir.join("left.wcube");
+        let right = dir.join("right.wcube");
+        let merged = dir.join("merged.wcube");
+        run_words(&[
+            "slice",
+            "--in",
+            raw_s,
+            "--from",
+            "2014-01-01",
+            "--to",
+            "2017-01-01",
+            "--out",
+            left.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_words(&[
+            "slice",
+            "--in",
+            raw_s,
+            "--from",
+            "2017-01-01",
+            "--to",
+            "2019-12-31",
+            "--out",
+            right.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_words(&[
+            "merge",
+            left.to_str().unwrap(),
+            right.to_str().unwrap(),
+            "--out",
+            merged.to_str().unwrap(),
+        ])
+        .unwrap();
+        let original = wikistale_wikicube::binio::read_from_path(&raw).unwrap();
+        let remerged = wikistale_wikicube::binio::read_from_path(&merged).unwrap();
+        assert_eq!(original.num_changes(), remerged.num_changes());
+
+        // Error paths.
+        assert!(run_words(&[
+            "slice",
+            "--in",
+            raw_s,
+            "--from",
+            "2018-01-01",
+            "--to",
+            "2017-01-01",
+            "--out",
+            "/tmp/x.wcube"
+        ])
+        .is_err());
+        assert!(run_words(&["merge", raw_s, "--out", "/tmp/x.wcube"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,281 @@
+//! Counter-anomaly detection on value histories.
+//!
+//! §5.4 of the paper tells the story of the Handball-Bundesliga's
+//! `total goals`: editors kept incrementing a mistyped running total
+//! (9,880 became 1,073 instead of 10,073) for weeks until a bulk
+//! correction. The staleness predictors ignore values entirely, but the
+//! change cube keeps them — so this module turns that §5.4 observation
+//! into a detector: find fields whose values behave like monotone
+//! counters, and flag the updates that break the monotone pattern
+//! (sudden collapses and their later corrections).
+
+use wikistale_wikicube::{ChangeCube, CubeIndex, Date, DateRange, FieldId};
+
+/// Tuning knobs for [`find_counter_anomalies`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyParams {
+    /// Minimum number of numeric updates for a field to be considered.
+    pub min_points: usize,
+    /// Minimum fraction of a field's update values that must parse as
+    /// numbers.
+    pub min_numeric_fraction: f64,
+    /// Minimum fraction of numeric steps that must be non-decreasing for
+    /// the field to count as a counter.
+    pub min_monotone_fraction: f64,
+    /// A decrease is anomalous when the value falls below this fraction of
+    /// its predecessor (the paper's typo dropped to ~11 %).
+    pub max_drop_ratio: f64,
+}
+
+impl Default for AnomalyParams {
+    fn default() -> AnomalyParams {
+        AnomalyParams {
+            min_points: 6,
+            min_numeric_fraction: 0.9,
+            min_monotone_fraction: 0.8,
+            max_drop_ratio: 0.5,
+        }
+    }
+}
+
+/// One suspicious update of a counter-like field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterAnomaly {
+    /// The affected field.
+    pub field: FieldId,
+    /// Day of the suspicious update.
+    pub day: Date,
+    /// The previous numeric value.
+    pub previous: i64,
+    /// The newly assigned numeric value.
+    pub value: i64,
+    /// What kind of break this is.
+    pub kind: AnomalyKind,
+}
+
+/// The direction of the break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// The counter collapsed (likely a truncation/typo such as
+    /// 9,880 → 1,073).
+    Collapse,
+    /// The counter jumped upward far beyond its usual step right after a
+    /// collapse — the likely bulk correction (6,197 → 16,227).
+    Correction,
+}
+
+/// Parse an infobox numeric value: digits with optional thousands
+/// separators (`,` or thin spaces) and surrounding whitespace.
+pub fn parse_counter(value: &str) -> Option<i64> {
+    let cleaned: String = value
+        .trim()
+        .chars()
+        .filter(|c| !matches!(c, ',' | ' ' | '\u{2009}' | '\u{00a0}' | '_'))
+        .collect();
+    if cleaned.is_empty() || !cleaned.chars().all(|c| c.is_ascii_digit() || c == '-') {
+        return None;
+    }
+    cleaned.parse().ok()
+}
+
+/// Scan every field of `cube` (via its `index`) for counter anomalies.
+/// Returns anomalies sorted by `(day, field)`.
+pub fn find_counter_anomalies(
+    cube: &ChangeCube,
+    index: &CubeIndex,
+    params: &AnomalyParams,
+) -> Vec<CounterAnomaly> {
+    let mut anomalies = Vec::new();
+    for pos in 0..index.num_fields() {
+        let field = index.field(pos);
+        let days = index.days(pos);
+        if days.len() < params.min_points {
+            continue;
+        }
+        // Collect the numeric (day, value) series from the change table.
+        let mut series: Vec<(Date, i64)> = Vec::with_capacity(days.len());
+        let mut non_numeric = 0usize;
+        let span = DateRange::new(days[0], days[days.len() - 1] + 1);
+        for c in cube.changes_in(span) {
+            if c.field() != field {
+                continue;
+            }
+            match parse_counter(cube.value_text(c.value)) {
+                Some(v) => series.push((c.day, v)),
+                None => non_numeric += 1,
+            }
+        }
+        let total = series.len() + non_numeric;
+        if series.len() < params.min_points
+            || (series.len() as f64 / total as f64) < params.min_numeric_fraction
+        {
+            continue;
+        }
+        // Counter check: most steps must be non-decreasing.
+        let steps = series.len() - 1;
+        let monotone = series.windows(2).filter(|w| w[1].1 >= w[0].1).count();
+        if (monotone as f64 / steps as f64) < params.min_monotone_fraction {
+            continue;
+        }
+        // Flag collapses, and the recovery jump right after a collapse.
+        let mut collapsed = false;
+        for w in series.windows(2) {
+            let (prev, next) = (w[0], w[1]);
+            if prev.1 > 0 && (next.1 as f64) < prev.1 as f64 * params.max_drop_ratio {
+                anomalies.push(CounterAnomaly {
+                    field,
+                    day: next.0,
+                    previous: prev.1,
+                    value: next.1,
+                    kind: AnomalyKind::Collapse,
+                });
+                collapsed = true;
+            } else if collapsed
+                && prev.1 > 0
+                && next.1 as f64 > prev.1 as f64 / params.max_drop_ratio
+            {
+                anomalies.push(CounterAnomaly {
+                    field,
+                    day: next.0,
+                    previous: prev.1,
+                    value: next.1,
+                    kind: AnomalyKind::Correction,
+                });
+                collapsed = false;
+            }
+        }
+    }
+    anomalies.sort_by_key(|a| (a.day, a.field));
+    anomalies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wikistale_wikicube::{ChangeCubeBuilder, ChangeKind};
+
+    fn day(n: i32) -> Date {
+        Date::EPOCH + n
+    }
+
+    #[test]
+    fn parses_wiki_style_numbers() {
+        assert_eq!(parse_counter("9,880"), Some(9_880));
+        assert_eq!(parse_counter(" 16 227 "), Some(16_227));
+        assert_eq!(parse_counter("1\u{00a0}073"), Some(1_073));
+        assert_eq!(parse_counter("12_500"), Some(12_500));
+        assert_eq!(parse_counter("-3"), Some(-3));
+        assert_eq!(parse_counter("mid-2018"), None);
+        assert_eq!(parse_counter(""), None);
+        assert_eq!(parse_counter("12 goals"), None);
+    }
+
+    /// The paper's §5.4 history: a healthy counter, the typo collapse, the
+    /// continued incrementing of the wrong value, and the final bulk
+    /// correction.
+    fn handball_cube() -> (ChangeCube, CubeIndex) {
+        let mut b = ChangeCubeBuilder::new();
+        let e = b.entity(
+            "HBL",
+            "infobox football league season",
+            "2018-19 Handball-Bundesliga",
+        );
+        let goals = b.property("total goals");
+        let values = [
+            "8,900", "9,200", "9,500", "9,880", // healthy growth
+            "1,073", // the typo (should have been 10,073)
+            "1,800", "3,000", "5,000", "6,197",  // incremented wrong value
+            "16,227", // the correction
+        ];
+        for (i, v) in values.iter().enumerate() {
+            b.change(day(i as i32 * 7), e, goals, v, ChangeKind::Update);
+        }
+        let cube = b.finish();
+        let index = CubeIndex::build(&cube);
+        (cube, index)
+    }
+
+    #[test]
+    fn detects_the_papers_typo_and_correction() {
+        let (cube, index) = handball_cube();
+        let anomalies = find_counter_anomalies(&cube, &index, &AnomalyParams::default());
+        assert_eq!(anomalies.len(), 2, "{anomalies:?}");
+        assert_eq!(anomalies[0].kind, AnomalyKind::Collapse);
+        assert_eq!(anomalies[0].previous, 9_880);
+        assert_eq!(anomalies[0].value, 1_073);
+        assert_eq!(anomalies[1].kind, AnomalyKind::Correction);
+        assert_eq!(anomalies[1].previous, 6_197);
+        assert_eq!(anomalies[1].value, 16_227);
+    }
+
+    #[test]
+    fn healthy_counters_and_non_counters_stay_silent() {
+        let mut b = ChangeCubeBuilder::new();
+        let e = b.entity("E", "t", "P");
+        let healthy = b.property("healthy");
+        let text = b.property("text");
+        let noisy = b.property("noisy");
+        for i in 0..10 {
+            b.change(
+                day(i * 3),
+                e,
+                healthy,
+                &format!("{}", 100 + i * 10),
+                ChangeKind::Update,
+            );
+            b.change(
+                day(i * 3),
+                e,
+                text,
+                &format!("value {i}"),
+                ChangeKind::Update,
+            );
+            // Oscillating numbers are not a counter (fails monotone check).
+            b.change(
+                day(i * 3),
+                e,
+                noisy,
+                &format!("{}", if i % 2 == 0 { 10 } else { 1 }),
+                ChangeKind::Update,
+            );
+        }
+        let cube = b.finish();
+        let index = CubeIndex::build(&cube);
+        let anomalies = find_counter_anomalies(&cube, &index, &AnomalyParams::default());
+        assert!(anomalies.is_empty(), "{anomalies:?}");
+    }
+
+    #[test]
+    fn short_histories_are_skipped() {
+        let mut b = ChangeCubeBuilder::new();
+        let e = b.entity("E", "t", "P");
+        let p = b.property("p");
+        for (i, v) in ["100", "200", "5"].iter().enumerate() {
+            b.change(day(i as i32), e, p, v, ChangeKind::Update);
+        }
+        let cube = b.finish();
+        let index = CubeIndex::build(&cube);
+        assert!(find_counter_anomalies(&cube, &index, &AnomalyParams::default()).is_empty());
+    }
+
+    #[test]
+    fn mixed_value_fields_need_numeric_majority() {
+        let mut b = ChangeCubeBuilder::new();
+        let e = b.entity("E", "t", "P");
+        let p = b.property("p");
+        // Half text, half numbers — not a counter field.
+        for i in 0..5 {
+            b.change(
+                day(i * 2),
+                e,
+                p,
+                &format!("{}", 100 * (i + 1)),
+                ChangeKind::Update,
+            );
+            b.change(day(i * 2 + 1), e, p, "unknown", ChangeKind::Update);
+        }
+        let cube = b.finish();
+        let index = CubeIndex::build(&cube);
+        assert!(find_counter_anomalies(&cube, &index, &AnomalyParams::default()).is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Predictor ensembles (§3.4).
+//!
+//! Both base predictors are tuned to roughly the same target precision, so
+//! combining them by **disjunction** (the OR-ensemble) boosts recall while
+//! keeping precision near that level — this is the paper's headline
+//! predictor. **Conjunction** (the AND-ensemble) trades recall for even
+//! higher precision.
+
+use crate::predictions::PredictionSet;
+
+/// Disjunction of positive predictions: flagged by either predictor.
+pub fn or_ensemble(a: &PredictionSet, b: &PredictionSet) -> PredictionSet {
+    a.union(b)
+}
+
+/// Conjunction of positive predictions: flagged by both predictors.
+pub fn and_ensemble(a: &PredictionSet, b: &PredictionSet) -> PredictionSet {
+    a.intersection(b)
+}
+
+/// Disjunction over any number of predictors (the §6 extension setting,
+/// where more models join the ensemble). Panics on an empty slice.
+pub fn or_all(sets: &[&PredictionSet]) -> PredictionSet {
+    let (first, rest) = sets.split_first().expect("or_all needs ≥ 1 set");
+    rest.iter().fold((*first).clone(), |acc, s| acc.union(s))
+}
+
+/// Conjunction over any number of predictors. Panics on an empty slice.
+pub fn and_all(sets: &[&PredictionSet]) -> PredictionSet {
+    let (first, rest) = sets.split_first().expect("and_all needs ≥ 1 set");
+    rest.iter()
+        .fold((*first).clone(), |acc, s| acc.intersection(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wikistale_wikicube::{Date, DateRange};
+
+    fn set(items: &[(u32, u32)]) -> PredictionSet {
+        PredictionSet::from_items(DateRange::with_len(Date::EPOCH, 52 * 7), 7, items.to_vec())
+    }
+
+    #[test]
+    fn or_is_union_and_is_intersection() {
+        let a = set(&[(0, 0), (1, 1)]);
+        let b = set(&[(1, 1), (2, 2)]);
+        assert_eq!(or_ensemble(&a, &b).items(), &[(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(and_ensemble(&a, &b).items(), &[(1, 1)]);
+    }
+
+    #[test]
+    fn n_ary_ensembles() {
+        let a = set(&[(0, 0), (1, 1), (3, 3)]);
+        let b = set(&[(1, 1), (2, 2), (3, 3)]);
+        let c = set(&[(3, 3), (4, 4), (1, 1)]);
+        let or = or_all(&[&a, &b, &c]);
+        assert_eq!(or.items(), &[(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
+        let and = and_all(&[&a, &b, &c]);
+        assert_eq!(and.items(), &[(1, 1), (3, 3)]);
+        // Single-set cases are identity.
+        assert_eq!(or_all(&[&a]).items(), a.items());
+        assert_eq!(and_all(&[&a]).items(), a.items());
+        // Binary versions agree with the generic ones.
+        assert_eq!(or_all(&[&a, &b]).items(), or_ensemble(&a, &b).items());
+        assert_eq!(and_all(&[&a, &b]).items(), and_ensemble(&a, &b).items());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs ≥ 1 set")]
+    fn empty_or_all_panics() {
+        let _ = or_all(&[]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ensemble_sandwich(
+            xs in proptest::collection::vec((0u32..20, 0u32..52), 0..60),
+            ys in proptest::collection::vec((0u32..20, 0u32..52), 0..60),
+            truth in proptest::collection::vec((0u32..20, 0u32..52), 0..60),
+        ) {
+            // AND ⊆ {A, B} ⊆ OR, hence: AND has ≤ recall of either, OR has
+            // ≥ recall of either; and every AND prediction appears in both.
+            let a = set(&xs);
+            let b = set(&ys);
+            let t = set(&truth);
+            let and = and_ensemble(&a, &b);
+            let or = or_ensemble(&a, &b);
+            for &(f, w) in and.items() {
+                prop_assert!(a.contains(f, w) && b.contains(f, w));
+            }
+            for &(f, w) in a.items() {
+                prop_assert!(or.contains(f, w));
+            }
+            let recall = |s: &PredictionSet| crate::eval::evaluate(s, &t).recall();
+            prop_assert!(recall(&and) <= recall(&a) + 1e-12);
+            prop_assert!(recall(&or) + 1e-12 >= recall(&b));
+        }
+    }
+}

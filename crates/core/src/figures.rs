@@ -1,0 +1,323 @@
+//! SVG rendering of the paper's figures.
+//!
+//! The experiment binaries print text tables for terminals; these
+//! renderers additionally produce self-contained SVG files mirroring the
+//! paper's Figure 3 (rules-per-template histogram, logarithmic x-axis)
+//! and Figure 4 (precision and recall over the 52 test weeks). No
+//! plotting dependency — the documents are assembled directly.
+
+use crate::eval::EvalOutcome;
+use crate::experiment::PaperResults;
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 320.0;
+const MARGIN_LEFT: f64 = 56.0;
+const MARGIN_RIGHT: f64 = 16.0;
+const MARGIN_TOP: f64 = 28.0;
+const MARGIN_BOTTOM: f64 = 44.0;
+
+/// Series colors: field correlations, association rules, AND, OR.
+const COLORS: [&str; 4] = ["#1b6ca8", "#c0392b", "#7d3c98", "#1e8449"];
+const NAMES: [&str; 4] = [
+    "Field correlations",
+    "Association rules",
+    "AND-ensemble",
+    "OR-ensemble",
+];
+
+fn plot_x(i: usize, n: usize) -> f64 {
+    let inner = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+    MARGIN_LEFT + inner * (i as f64 + 0.5) / n as f64
+}
+
+fn plot_y(value: f64, lo: f64, hi: f64) -> f64 {
+    let inner = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+    let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+    HEIGHT - MARGIN_BOTTOM - inner * t
+}
+
+fn svg_open(out: &mut String, title: &str) {
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="11">"##
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>
+<text x="{}" y="18" text-anchor="middle" font-size="13">{}</text>"##,
+        WIDTH / 2.0,
+        escape(title)
+    );
+}
+
+fn axis(out: &mut String, y_label: &str, lo: f64, hi: f64, ticks: usize) {
+    let x0 = MARGIN_LEFT;
+    let x1 = WIDTH - MARGIN_RIGHT;
+    let y0 = HEIGHT - MARGIN_BOTTOM;
+    let _ = writeln!(
+        out,
+        r##"<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="#333"/>
+<line x1="{x0}" y1="{MARGIN_TOP}" x2="{x0}" y2="{y0}" stroke="#333"/>"##
+    );
+    for t in 0..=ticks {
+        let value = lo + (hi - lo) * t as f64 / ticks as f64;
+        let y = plot_y(value, lo, hi);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{}" y1="{y}" x2="{x0}" y2="{y}" stroke="#333"/>
+<text x="{}" y="{}" text-anchor="end">{value:.0}</text>"##,
+            x0 - 4.0,
+            x0 - 7.0,
+            y + 4.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        r##"<text x="14" y="{}" transform="rotate(-90 14 {})" text-anchor="middle">{}</text>"##,
+        (MARGIN_TOP + y0) / 2.0,
+        (MARGIN_TOP + y0) / 2.0,
+        escape(y_label)
+    );
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Figure 3 as SVG: bar chart of how many templates discovered how many
+/// association rules, on doubling buckets.
+pub fn figure3_svg(results: &PaperResults) -> String {
+    let max_rules = results
+        .rules_per_template
+        .iter()
+        .map(|&(_, n)| n)
+        .max()
+        .unwrap_or(0);
+    // Doubling buckets 1, 2-3, 4-7, …
+    let mut buckets: Vec<(String, usize)> = Vec::new();
+    let mut lo = 1usize;
+    while lo <= max_rules.max(1) {
+        let hi = lo * 2 - 1;
+        let count = results
+            .rules_per_template
+            .iter()
+            .filter(|&&(_, n)| n >= lo && n <= hi)
+            .count();
+        let label = if lo == hi {
+            lo.to_string()
+        } else {
+            format!("{lo}\u{2013}{hi}")
+        };
+        buckets.push((label, count));
+        lo *= 2;
+    }
+    let y_max = buckets.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1) as f64;
+
+    let mut out = String::new();
+    svg_open(
+        &mut out,
+        &format!(
+            "Figure 3 — association rules per template ({} rules, {} templates)",
+            results.num_assoc_rules,
+            results.rules_per_template.len()
+        ),
+    );
+    axis(&mut out, "Number of templates", 0.0, y_max, 4);
+    let n = buckets.len();
+    let inner = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+    let bar_w = (inner / n as f64) * 0.6;
+    for (i, (label, count)) in buckets.iter().enumerate() {
+        let cx = plot_x(i, n);
+        let y = plot_y(*count as f64, 0.0, y_max);
+        let y0 = HEIGHT - MARGIN_BOTTOM;
+        let _ = writeln!(
+            out,
+            r##"<rect x="{:.1}" y="{y:.1}" width="{bar_w:.1}" height="{:.1}" fill="{}"/>
+<text x="{cx:.1}" y="{:.1}" text-anchor="middle">{}</text>
+<text x="{cx:.1}" y="{:.1}" text-anchor="middle" font-size="10">{count}</text>"##,
+            cx - bar_w / 2.0,
+            y0 - y,
+            COLORS[0],
+            y0 + 16.0,
+            escape(label),
+            y - 4.0,
+        );
+    }
+    let _ = writeln!(
+        out,
+        r##"<text x="{}" y="{}" text-anchor="middle">Number of discovered association rules (doubling buckets)</text>"##,
+        WIDTH / 2.0,
+        HEIGHT - 8.0
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+/// One panel of Figure 4: a metric over the 52 weeks for the four
+/// predictors, plus the 85 % target line for the precision panel.
+fn figure4_panel(
+    title: &str,
+    series: &[Vec<EvalOutcome>; 4],
+    metric: impl Fn(&EvalOutcome) -> f64,
+    lo: f64,
+    hi: f64,
+    target: Option<f64>,
+) -> String {
+    let mut out = String::new();
+    svg_open(&mut out, title);
+    axis(&mut out, "Percent", lo, hi, 4);
+    let n = series[0].len();
+    if let Some(t) = target {
+        let y = plot_y(t, lo, hi);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{MARGIN_LEFT}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#999" stroke-dasharray="5,4"/>"##,
+            WIDTH - MARGIN_RIGHT
+        );
+    }
+    for (s, (color, name)) in series.iter().zip(COLORS.iter().zip(NAMES)) {
+        let points: String = s
+            .iter()
+            .enumerate()
+            .map(|(i, o)| format!("{:.1},{:.1}", plot_x(i, n), plot_y(metric(o), lo, hi)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            r##"<polyline points="{points}" fill="none" stroke="{color}" stroke-width="1.6"/>"##
+        );
+        let _ = name;
+    }
+    // Legend.
+    for (i, (color, name)) in COLORS.iter().zip(NAMES).enumerate() {
+        let x = MARGIN_LEFT + 8.0 + 160.0 * (i as f64 % 2.0);
+        let y = MARGIN_TOP + 14.0 * (i as f64 / 2.0).floor();
+        let _ = writeln!(
+            out,
+            r##"<rect x="{x:.1}" y="{:.1}" width="10" height="3" fill="{color}"/>
+<text x="{:.1}" y="{:.1}">{}</text>"##,
+            y + 4.0,
+            x + 14.0,
+            y + 9.0,
+            escape(name)
+        );
+    }
+    // Week ticks every 10 weeks.
+    for week in (0..n).step_by(10) {
+        let x = plot_x(week, n);
+        let _ = writeln!(
+            out,
+            r##"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{week}</text>"##,
+            HEIGHT - MARGIN_BOTTOM + 16.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        r##"<text x="{}" y="{}" text-anchor="middle">Week</text>"##,
+        WIDTH / 2.0,
+        HEIGHT - 8.0
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Figure 4 as SVG: two stacked panels (precision, recall) over the test
+/// weeks at 7-day granularity. Returns `None` when the results carry no
+/// weekly series.
+pub fn figure4_svg(results: &PaperResults) -> Option<String> {
+    let seven = results.granularity(7)?;
+    let series = seven.weekly_series.as_ref()?;
+    let precision = figure4_panel(
+        "Figure 4 (top) — precision over time, 7-day windows",
+        series,
+        |o| 100.0 * o.precision(),
+        50.0,
+        100.0,
+        Some(85.0),
+    );
+    let recall = figure4_panel(
+        "Figure 4 (bottom) — recall over time, 7-day windows",
+        series,
+        |o| 100.0 * o.recall(),
+        0.0,
+        30.0,
+        None,
+    );
+    // Stack the two panels inside one valid outer document (nested <svg>
+    // elements position their own viewport).
+    Some(format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{h}\" \
+         viewBox=\"0 0 {WIDTH} {h}\">\n{precision}<svg y=\"{HEIGHT}\">\n{recall}</svg>\n</svg>\n",
+        h = 2.0 * HEIGHT,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_paper_evaluation, ExperimentConfig};
+    use crate::filters::FilterPipeline;
+    use crate::split::EvalSplit;
+    use wikistale_synth::{generate, SynthConfig};
+
+    fn results() -> PaperResults {
+        let corpus = generate(&SynthConfig::tiny());
+        let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+        let split = EvalSplit::for_span(filtered.time_span().unwrap()).unwrap();
+        run_paper_evaluation(&filtered, &split, &ExperimentConfig::default())
+    }
+
+    #[test]
+    fn figure3_svg_is_well_formed() {
+        let svg = figure3_svg(&results());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<rect"));
+        assert!(svg.contains("association rules per template"));
+        // Balanced document: one open, one close.
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn figure4_svg_has_two_panels_and_target_line() {
+        let svg = figure4_svg(&results()).expect("weekly series present");
+        // One outer document, two panels, one positioning wrapper.
+        assert_eq!(svg.matches("<svg").count(), 4);
+        assert_eq!(svg.matches("</svg>").count(), 4);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 4 series per panel.
+        assert_eq!(svg.matches("<polyline").count(), 8);
+        assert!(svg.contains("stroke-dasharray")); // the 85 % line
+        assert!(svg.contains("precision over time"));
+        assert!(svg.contains("recall over time"));
+    }
+
+    #[test]
+    fn empty_rule_set_still_renders() {
+        let mut r = results();
+        r.rules_per_template.clear();
+        r.num_assoc_rules = 0;
+        let svg = figure3_svg(&r);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn coordinates_stay_inside_canvas() {
+        for i in 0..52 {
+            let x = plot_x(i, 52);
+            assert!((MARGIN_LEFT..=WIDTH - MARGIN_RIGHT).contains(&x));
+        }
+        for v in [0.0, 42.0, 100.0, -5.0, 120.0] {
+            let y = plot_y(v, 0.0, 100.0);
+            assert!(
+                (MARGIN_TOP..=HEIGHT - MARGIN_BOTTOM).contains(&y),
+                "{v} → {y}"
+            );
+        }
+    }
+}

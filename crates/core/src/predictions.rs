@@ -1,0 +1,309 @@
+//! The prediction-set representation shared by all predictors.
+//!
+//! A prediction is a pair *(field, window)*: "field `f` should change
+//! within tumbling window `w`". For one evaluation range and granularity
+//! the windows are dense indices `0..num_windows`, and fields are the
+//! dense positions of a [`wikistale_wikicube::CubeIndex`], so a whole
+//! prediction set is a sorted, deduplicated `Vec<(u32, u32)>` — set
+//! algebra (the ensembles of §3.4 and the precision/recall counts of §5)
+//! becomes linear merges.
+
+use wikistale_wikicube::{Date, DateRange};
+
+/// A set of positive *(field position, window index)* predictions for one
+/// evaluation range and granularity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictionSet {
+    range: DateRange,
+    granularity: u32,
+    num_windows: u32,
+    items: Vec<(u32, u32)>,
+}
+
+impl PredictionSet {
+    /// Create an empty set for `range` split into `granularity`-day
+    /// tumbling windows (incomplete trailing windows are disregarded,
+    /// §5.1).
+    pub fn new(range: DateRange, granularity: u32) -> PredictionSet {
+        assert!(granularity > 0, "granularity must be positive");
+        PredictionSet {
+            range,
+            granularity,
+            num_windows: range.len_days() / granularity,
+            items: Vec::new(),
+        }
+    }
+
+    /// Build from an unsorted, possibly duplicated item list.
+    pub fn from_items(
+        range: DateRange,
+        granularity: u32,
+        mut items: Vec<(u32, u32)>,
+    ) -> PredictionSet {
+        let mut set = PredictionSet::new(range, granularity);
+        items.sort_unstable();
+        items.dedup();
+        debug_assert!(items.iter().all(|&(_, w)| w < set.num_windows));
+        set.items = items;
+        set
+    }
+
+    /// The evaluation range the windows tile.
+    pub fn range(&self) -> DateRange {
+        self.range
+    }
+
+    /// Window size in days.
+    pub fn granularity(&self) -> u32 {
+        self.granularity
+    }
+
+    /// Number of complete tumbling windows.
+    pub fn num_windows(&self) -> u32 {
+        self.num_windows
+    }
+
+    /// The window index containing `day`, if the day falls into a complete
+    /// window of the range.
+    pub fn window_of(&self, day: Date) -> Option<u32> {
+        if day < self.range.start() {
+            return None;
+        }
+        let idx = (day - self.range.start()) as u32 / self.granularity;
+        (idx < self.num_windows).then_some(idx)
+    }
+
+    /// The day range of window `idx`.
+    pub fn window_range(&self, idx: u32) -> DateRange {
+        assert!(idx < self.num_windows, "window {idx} out of range");
+        DateRange::with_len(
+            self.range
+                .start()
+                .plus_days((idx * self.granularity) as i32),
+            self.granularity,
+        )
+    }
+
+    /// Record a positive prediction for `day`'s window (ignored when the
+    /// day falls outside every complete window). Call [`Self::seal`] after
+    /// the last insertion.
+    pub fn insert_day(&mut self, field_pos: u32, day: Date) {
+        if let Some(w) = self.window_of(day) {
+            self.items.push((field_pos, w));
+        }
+    }
+
+    /// Record a positive prediction for an explicit window index.
+    pub fn insert(&mut self, field_pos: u32, window: u32) {
+        debug_assert!(window < self.num_windows);
+        self.items.push((field_pos, window));
+    }
+
+    /// Sort and deduplicate after a batch of insertions.
+    pub fn seal(&mut self) {
+        self.items.sort_unstable();
+        self.items.dedup();
+    }
+
+    /// Number of positive predictions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no prediction was made.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sorted, deduplicated items.
+    pub fn items(&self) -> &[(u32, u32)] {
+        &self.items
+    }
+
+    /// Whether `(field_pos, window)` is predicted positive.
+    pub fn contains(&self, field_pos: u32, window: u32) -> bool {
+        self.items.binary_search(&(field_pos, window)).is_ok()
+    }
+
+    /// Set union (the OR-ensemble primitive). Panics if the sets tile
+    /// different ranges or granularities.
+    pub fn union(&self, other: &PredictionSet) -> PredictionSet {
+        self.assert_compatible(other);
+        let mut items = Vec::with_capacity(self.items.len() + other.items.len());
+        merge(&self.items, &other.items, &mut items, MergeKind::Union);
+        PredictionSet { items, ..*self }
+    }
+
+    /// Set intersection (the AND-ensemble primitive).
+    pub fn intersection(&self, other: &PredictionSet) -> PredictionSet {
+        self.assert_compatible(other);
+        let mut items = Vec::new();
+        merge(
+            &self.items,
+            &other.items,
+            &mut items,
+            MergeKind::Intersection,
+        );
+        PredictionSet { items, ..*self }
+    }
+
+    /// Number of items both sets share (used by the §5.3.4 overlap
+    /// analysis) without materializing the intersection.
+    pub fn intersection_len(&self, other: &PredictionSet) -> usize {
+        self.assert_compatible(other);
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    fn assert_compatible(&self, other: &PredictionSet) {
+        assert_eq!(self.range, other.range, "prediction ranges differ");
+        assert_eq!(
+            self.granularity, other.granularity,
+            "prediction granularities differ"
+        );
+    }
+}
+
+enum MergeKind {
+    Union,
+    Intersection,
+}
+
+fn merge(a: &[(u32, u32)], b: &[(u32, u32)], out: &mut Vec<(u32, u32)>, kind: MergeKind) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                if matches!(kind, MergeKind::Union) {
+                    out.push(a[i]);
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if matches!(kind, MergeKind::Union) {
+                    out.push(b[j]);
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if matches!(kind, MergeKind::Union) {
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn range() -> DateRange {
+        DateRange::with_len(Date::TEST_START, 365)
+    }
+
+    fn set(items: &[(u32, u32)]) -> PredictionSet {
+        PredictionSet::from_items(range(), 7, items.to_vec())
+    }
+
+    #[test]
+    fn window_counts_match_paper() {
+        assert_eq!(PredictionSet::new(range(), 1).num_windows(), 365);
+        assert_eq!(PredictionSet::new(range(), 7).num_windows(), 52);
+        assert_eq!(PredictionSet::new(range(), 30).num_windows(), 12);
+        assert_eq!(PredictionSet::new(range(), 365).num_windows(), 1);
+    }
+
+    #[test]
+    fn window_of_day() {
+        let s = PredictionSet::new(range(), 7);
+        assert_eq!(s.window_of(Date::TEST_START), Some(0));
+        assert_eq!(s.window_of(Date::TEST_START + 6), Some(0));
+        assert_eq!(s.window_of(Date::TEST_START + 7), Some(1));
+        // Day 364 falls in the disregarded 53rd week.
+        assert_eq!(s.window_of(Date::TEST_START + 364), None);
+        assert_eq!(s.window_of(Date::TEST_START - 1), None);
+    }
+
+    #[test]
+    fn window_range_round_trips() {
+        let s = PredictionSet::new(range(), 30);
+        for idx in 0..s.num_windows() {
+            let w = s.window_range(idx);
+            assert_eq!(s.window_of(w.start()), Some(idx));
+            assert_eq!(s.window_of(w.end() - 1), Some(idx));
+        }
+    }
+
+    #[test]
+    fn insert_day_ignores_out_of_window_days() {
+        let mut s = PredictionSet::new(range(), 7);
+        s.insert_day(0, Date::TEST_START + 364); // disregarded tail
+        s.insert_day(0, Date::TEST_START + 3);
+        s.insert_day(0, Date::TEST_START + 3); // duplicate
+        s.seal();
+        assert_eq!(s.items(), &[(0, 0)]);
+        assert!(s.contains(0, 0));
+        assert!(!s.contains(0, 1));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = set(&[(0, 0), (1, 1), (2, 2)]);
+        let b = set(&[(1, 1), (2, 3), (4, 0)]);
+        let or = a.union(&b);
+        assert_eq!(or.items(), &[(0, 0), (1, 1), (2, 2), (2, 3), (4, 0)]);
+        let and = a.intersection(&b);
+        assert_eq!(and.items(), &[(1, 1)]);
+        assert_eq!(a.intersection_len(&b), 1);
+        assert!(set(&[]).union(&set(&[])).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "granularities differ")]
+    fn incompatible_sets_panic() {
+        let a = PredictionSet::new(range(), 7);
+        let b = PredictionSet::new(range(), 30);
+        let _ = a.union(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_algebra(
+            xs in proptest::collection::vec((0u32..30, 0u32..52), 0..80),
+            ys in proptest::collection::vec((0u32..30, 0u32..52), 0..80),
+        ) {
+            use std::collections::BTreeSet;
+            let a = set(&xs);
+            let b = set(&ys);
+            let sa: BTreeSet<(u32, u32)> = xs.iter().copied().collect();
+            let sb: BTreeSet<(u32, u32)> = ys.iter().copied().collect();
+            let union: Vec<(u32, u32)> = sa.union(&sb).copied().collect();
+            let inter: Vec<(u32, u32)> = sa.intersection(&sb).copied().collect();
+            let u = a.union(&b);
+            let n = a.intersection(&b);
+            prop_assert_eq!(u.items(), union.as_slice());
+            prop_assert_eq!(n.items(), inter.as_slice());
+            prop_assert_eq!(a.intersection_len(&b), inter.len());
+            // AND ⊆ A ⊆ OR invariant.
+            prop_assert!(a.intersection(&b).len() <= a.len());
+            prop_assert!(a.len() <= a.union(&b).len());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The predictor abstraction and the data it sees at prediction time.
+
+use crate::predictions::PredictionSet;
+use wikistale_wikicube::{ChangeCube, CubeIndex, DateRange};
+
+/// The (filtered) data predictors run against: the cube for dimension
+/// lookups and its index for field histories.
+///
+/// The index must have been built from the same cube snapshot.
+#[derive(Clone, Copy)]
+pub struct EvalData<'a> {
+    /// The filtered change cube.
+    pub cube: &'a ChangeCube,
+    /// Index over the same cube.
+    pub index: &'a CubeIndex,
+}
+
+impl<'a> EvalData<'a> {
+    /// Bundle a cube with its index.
+    pub fn new(cube: &'a ChangeCube, index: &'a CubeIndex) -> EvalData<'a> {
+        EvalData { cube, index }
+    }
+}
+
+/// A trained change predictor (§3): emits, for every complete tumbling
+/// window of `range`, the set of fields it believes should change in that
+/// window.
+///
+/// ## The masked-field protocol (§5.1)
+///
+/// When predicting field *f* in window *w*, an implementation may use
+/// *f*'s changes **before** `w` starts and *other* fields' changes through
+/// the **end** of `w` — never *f*'s own changes inside `w`. This simulates
+/// the scenario where one edit to *f* was forgotten while related fields
+/// were updated correctly. All built-in predictors satisfy this by
+/// construction: the rule-based predictors only consult *other* fields
+/// inside the window, and the baselines only consult *f*'s past.
+pub trait ChangePredictor {
+    /// Short display name ("Field correlations").
+    fn name(&self) -> &'static str;
+
+    /// Positive predictions for every complete `granularity`-day window of
+    /// `range`.
+    fn predict(&self, data: &EvalData<'_>, range: DateRange, granularity: u32) -> PredictionSet;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wikistale_wikicube::{ChangeCubeBuilder, ChangeKind, Date};
+
+    /// A trivial predictor used to exercise the trait object surface.
+    struct Always;
+
+    impl ChangePredictor for Always {
+        fn name(&self) -> &'static str {
+            "always"
+        }
+
+        fn predict(
+            &self,
+            data: &EvalData<'_>,
+            range: DateRange,
+            granularity: u32,
+        ) -> PredictionSet {
+            let mut set = PredictionSet::new(range, granularity);
+            for pos in 0..data.index.num_fields() as u32 {
+                for w in 0..set.num_windows() {
+                    set.insert(pos, w);
+                }
+            }
+            set.seal();
+            set
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut b = ChangeCubeBuilder::new();
+        let e = b.entity("E", "t", "P");
+        let p = b.property("p");
+        b.change(Date::EPOCH, e, p, "v", ChangeKind::Update);
+        let cube = b.finish();
+        let index = wikistale_wikicube::CubeIndex::build(&cube);
+        let data = EvalData::new(&cube, &index);
+        let predictor: Box<dyn ChangePredictor> = Box::new(Always);
+        let set = predictor.predict(&data, DateRange::with_len(Date::EPOCH, 21), 7);
+        assert_eq!(predictor.name(), "always");
+        assert_eq!(set.len(), 3); // 1 field × 3 windows
+    }
+}

@@ -1,0 +1,222 @@
+//! The mean baseline (§5.2).
+//!
+//! A per-field regressor: the next change is forecast `n` days after the
+//! last one, where `n` is the field's mean inter-change gap observed in
+//! the training range. Stepping the forecast forward from the last change
+//! known *before* each window converts the regression into the window
+//! classification the evaluation needs.
+//!
+//! As §1 argues, this baseline fails on seasonal and bursty histories —
+//! the paper reports ≤ 55 % precision everywhere — but it calibrates how
+//! hard the task is.
+
+use crate::predictions::PredictionSet;
+use crate::predictor::{ChangePredictor, EvalData};
+use wikistale_wikicube::DateRange;
+
+/// The trained mean baseline: one mean gap per field position.
+#[derive(Debug, Clone)]
+pub struct MeanBaseline {
+    /// Mean inter-change gap in days, per field position; `None` when the
+    /// field has fewer than two training changes (no gap to average).
+    mean_gap: Vec<Option<f64>>,
+}
+
+impl MeanBaseline {
+    /// Compute per-field mean gaps from the changes inside `range`.
+    pub fn train(data: &EvalData<'_>, range: DateRange) -> MeanBaseline {
+        let index = data.index;
+        let mean_gap = (0..index.num_fields())
+            .map(|pos| {
+                let days = index.days(pos);
+                let lo = days.partition_point(|&d| d < range.start());
+                let hi = days.partition_point(|&d| d < range.end());
+                let days = &days[lo..hi];
+                if days.len() < 2 {
+                    return None;
+                }
+                let span = (*days.last().unwrap() - days[0]) as f64;
+                let gap = span / (days.len() - 1) as f64;
+                // Identical-day histories cannot happen after
+                // day-deduplication, but guard the division downstream.
+                (gap > 0.0).then_some(gap)
+            })
+            .collect();
+        MeanBaseline { mean_gap }
+    }
+
+    /// The trained mean gap of a field position, if any.
+    pub fn gap_of(&self, field_pos: usize) -> Option<f64> {
+        self.mean_gap.get(field_pos).copied().flatten()
+    }
+
+    /// Number of fields with a usable gap estimate.
+    pub fn num_modeled_fields(&self) -> usize {
+        self.mean_gap.iter().flatten().count()
+    }
+}
+
+impl ChangePredictor for MeanBaseline {
+    fn name(&self) -> &'static str {
+        "Mean baseline"
+    }
+
+    /// For each window starting at `s`: take the field's last change
+    /// strictly before `s` (full history — the §5.1 protocol exposes all
+    /// of the field's past), step forward in multiples of the mean gap,
+    /// and predict positive iff the first forecast ≥ `s` lands inside the
+    /// window.
+    fn predict(&self, data: &EvalData<'_>, range: DateRange, granularity: u32) -> PredictionSet {
+        let mut set = PredictionSet::new(range, granularity);
+        for pos in 0..data.index.num_fields() {
+            let Some(gap) = self.gap_of(pos) else {
+                continue;
+            };
+            let days = data.index.days(pos);
+            for w in 0..set.num_windows() {
+                let window = set.window_range(w);
+                let before = data.index.days_before(pos, window.start());
+                let Some(&last) = before.last() else {
+                    continue;
+                };
+                // An in-range `days` slice is non-empty iff `before` is;
+                // silence the unused warning explicitly.
+                let _ = days;
+                let elapsed = (window.start() - last) as f64;
+                let steps = (elapsed / gap).ceil().max(1.0);
+                let forecast = last.day_number() as f64 + steps * gap;
+                if forecast < window.end().day_number() as f64 {
+                    set.insert(pos as u32, w);
+                }
+            }
+        }
+        set.seal();
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wikistale_wikicube::{ChangeCubeBuilder, ChangeKind, CubeIndex, Date};
+
+    fn day(n: i32) -> Date {
+        Date::EPOCH + n
+    }
+
+    /// One perfectly periodic field (every 10 days) and one sparse field.
+    fn cube() -> (wikistale_wikicube::ChangeCube, CubeIndex) {
+        let mut b = ChangeCubeBuilder::new();
+        let e = b.entity("E", "t", "P");
+        let periodic = b.property("periodic");
+        let sparse = b.property("sparse");
+        let single = b.property("single");
+        for k in 0..20 {
+            b.change(day(k * 10), e, periodic, "v", ChangeKind::Update);
+        }
+        b.change(day(3), e, sparse, "v", ChangeKind::Update);
+        b.change(day(150), e, sparse, "v", ChangeKind::Update);
+        b.change(day(42), e, single, "v", ChangeKind::Update);
+        let cube = b.finish();
+        let index = CubeIndex::build(&cube);
+        (cube, index)
+    }
+
+    #[test]
+    fn training_computes_mean_gaps() {
+        let (cube, index) = cube();
+        let data = EvalData::new(&cube, &index);
+        let mb = MeanBaseline::train(&data, DateRange::with_len(Date::EPOCH, 200));
+        let pos_of = |name: &str| {
+            index
+                .position(wikistale_wikicube::FieldId::new(
+                    cube.entity_id("E").unwrap(),
+                    cube.property_id(name).unwrap(),
+                ))
+                .unwrap()
+        };
+        assert_eq!(mb.gap_of(pos_of("periodic")), Some(10.0));
+        assert_eq!(mb.gap_of(pos_of("sparse")), Some(147.0));
+        assert_eq!(mb.gap_of(pos_of("single")), None);
+        assert_eq!(mb.num_modeled_fields(), 2);
+        assert_eq!(mb.gap_of(999), None);
+    }
+
+    #[test]
+    fn periodic_field_is_predicted_every_matching_window() {
+        let (cube, index) = cube();
+        let data = EvalData::new(&cube, &index);
+        let mb = MeanBaseline::train(&data, DateRange::with_len(Date::EPOCH, 100));
+        // Evaluate days 100..200 with 10-day windows: the field changes at
+        // 100, 110, …; forecast from last-before-start always lands in the
+        // window → predicted everywhere.
+        let eval = DateRange::new(day(100), day(200));
+        let set = mb.predict(&data, eval, 10);
+        let pos = index
+            .position(wikistale_wikicube::FieldId::new(
+                cube.entity_id("E").unwrap(),
+                cube.property_id("periodic").unwrap(),
+            ))
+            .unwrap() as u32;
+        for w in 0..10u32 {
+            assert!(set.contains(pos, w), "window {w}");
+        }
+    }
+
+    #[test]
+    fn sparse_field_predicted_only_near_due_date() {
+        let (cube, index) = cube();
+        let data = EvalData::new(&cube, &index);
+        let mb = MeanBaseline::train(&data, DateRange::with_len(Date::EPOCH, 200));
+        // sparse gap = 147, last change at 150 → forecast 297.
+        let eval = DateRange::new(day(200), day(350));
+        let set = mb.predict(&data, eval, 10);
+        let pos = index
+            .position(wikistale_wikicube::FieldId::new(
+                cube.entity_id("E").unwrap(),
+                cube.property_id("sparse").unwrap(),
+            ))
+            .unwrap() as u32;
+        // Window containing day 297 is (297-200)/10 = 9.
+        for w in 0..15u32 {
+            assert_eq!(set.contains(pos, w), w == 9, "window {w}");
+        }
+    }
+
+    #[test]
+    fn no_history_before_window_means_no_prediction() {
+        let (cube, index) = cube();
+        let data = EvalData::new(&cube, &index);
+        let mb = MeanBaseline::train(&data, DateRange::with_len(Date::EPOCH, 200));
+        // Evaluate *before* all changes.
+        let set = mb.predict(&data, DateRange::new(day(-100), day(-50)), 10);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn forecast_steps_over_long_silences() {
+        // Last change long ago: forecast must step by ⌈elapsed/gap⌉, not
+        // predict in every window after the silence.
+        let mut b = ChangeCubeBuilder::new();
+        let e = b.entity("E", "t", "P");
+        let p = b.property("p");
+        for k in 0..5 {
+            b.change(day(k * 7), e, p, "v", ChangeKind::Update);
+        }
+        let cube = b.finish();
+        let index = CubeIndex::build(&cube);
+        let data = EvalData::new(&cube, &index);
+        let mb = MeanBaseline::train(&data, DateRange::with_len(Date::EPOCH, 100));
+        // Last change day 28, gap 7. Window [100, 107): elapsed 72 →
+        // steps = ⌈72/7⌉ = 11 → forecast 28 + 77 = 105 → inside.
+        let set = mb.predict(&data, DateRange::new(day(100), day(107)), 7);
+        assert_eq!(set.len(), 1);
+        // Window [106, 113): steps = ⌈78/7⌉ = 12 → forecast 112 → inside.
+        let set2 = mb.predict(&data, DateRange::new(day(106), day(113)), 7);
+        assert_eq!(set2.len(), 1);
+        // Window [99, 104): forecast 105 → outside (the change is due but
+        // not within this window).
+        let set3 = mb.predict(&data, DateRange::new(day(99), day(104)), 5);
+        assert!(set3.is_empty());
+    }
+}

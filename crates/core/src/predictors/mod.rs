@@ -1,0 +1,72 @@
+//! The change predictors of §3 and the baselines of §5.2.
+
+pub mod assoc;
+pub mod field_corr;
+pub mod mean_baseline;
+pub mod seasonal;
+pub mod threshold_baseline;
+
+pub use assoc::{AssocParams, AssociationRulePredictor, TemplateRule};
+pub use field_corr::{change_distance, DistanceNorm, FieldCorrelation, FieldCorrelationParams};
+pub use mean_baseline::MeanBaseline;
+pub use seasonal::{SeasonalParams, SeasonalPredictor};
+pub use threshold_baseline::ThresholdBaseline;
+
+use crossbeam::thread;
+
+/// Map chunks of `items` in parallel with crossbeam scoped threads and
+/// collect the chunk results in order.
+///
+/// Used for the per-page correlation search and per-template rule mining,
+/// both embarrassingly parallel.
+pub(crate) fn parallel_chunks<T, R, F>(items: &[T], num_chunks: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(num_chunks.max(1));
+    let chunk_size = items.len().div_ceil(threads);
+    if threads <= 1 || items.len() < 2 * threads {
+        return vec![f(items)];
+    }
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| s.spawn(|_| f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_chunks_covers_all_items() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let partials = parallel_chunks(&items, 8, |chunk| chunk.iter().sum::<u64>());
+        let total: u64 = partials.into_iter().sum();
+        assert_eq!(total, items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn parallel_chunks_empty_and_small() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_chunks(&empty, 4, |c| c.len()).is_empty());
+        let small = vec![1u32];
+        let r = parallel_chunks(&small, 4, |c| c.len());
+        assert_eq!(r.iter().sum::<usize>(), 1);
+    }
+}

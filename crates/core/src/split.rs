@@ -1,0 +1,114 @@
+//! Time-based train / validation / test splits (§5.1).
+//!
+//! All splits are along the time axis: the test set is the last 365 days
+//! of the corpus, the validation set the 365 days before it, and the
+//! training set everything before that. For the paper's corpus this means
+//! a test year starting 2018-09-01, a validation year starting 2017-09-01,
+//! and a training range ending there.
+
+use wikistale_wikicube::{Date, DateRange};
+
+/// The three evaluation ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalSplit {
+    /// Training range (the earliest data up to the validation year).
+    pub train: DateRange,
+    /// Validation year (hyper-parameter tuning).
+    pub validation: DateRange,
+    /// Test year (final evaluation).
+    pub test: DateRange,
+}
+
+impl EvalSplit {
+    /// The paper's split of the real 2003–2019 corpus: test from
+    /// 2018-09-01, validation the 365 days before, training from
+    /// 2004-06-05.
+    pub fn paper() -> EvalSplit {
+        EvalSplit {
+            train: DateRange::new(Date::TRAINING_START, Date::TEST_START - 365),
+            validation: DateRange::with_len(Date::TEST_START - 365, 365),
+            test: DateRange::with_len(Date::TEST_START, 365),
+        }
+    }
+
+    /// Derive a split for an arbitrary corpus span: the last 365 days are
+    /// the test year, the 365 before that validation, everything earlier
+    /// training. Returns `None` if the span cannot accommodate two full
+    /// years plus at least one training day.
+    pub fn for_span(span: DateRange) -> Option<EvalSplit> {
+        if span.len_days() < 2 * 365 + 1 {
+            return None;
+        }
+        let test_start = span.end() - 365;
+        let validation_start = test_start - 365;
+        Some(EvalSplit {
+            train: DateRange::new(span.start(), validation_start),
+            validation: DateRange::with_len(validation_start, 365),
+            test: DateRange::with_len(test_start, 365),
+        })
+    }
+
+    /// Training plus validation — what the final models are trained on
+    /// before being evaluated on the test year (§5.1: "trained on both
+    /// training and validation set").
+    pub fn train_and_validation(&self) -> DateRange {
+        DateRange::new(self.train.start(), self.validation.end())
+    }
+
+    /// The 365 days immediately before `range` — the reference year the
+    /// threshold baseline counts windows in.
+    pub fn reference_year_before(range: DateRange) -> DateRange {
+        DateRange::with_len(range.start() - 365, 365)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_split_matches_section_5_1() {
+        let s = EvalSplit::paper();
+        assert_eq!(s.test.start().to_string(), "2018-09-01");
+        assert_eq!(s.test.len_days(), 365);
+        assert_eq!(s.validation.len_days(), 365);
+        assert_eq!(s.validation.end(), s.test.start());
+        assert_eq!(s.train.start().to_string(), "2004-06-05");
+        assert_eq!(s.train.end(), s.validation.start());
+        // §5.1 reports 4,835 training days (inclusive-day counting; our
+        // half-open range spans 4,836 day slots).
+        assert_eq!(s.train.len_days(), 4_836);
+    }
+
+    #[test]
+    fn for_span_splits_backwards_from_the_end() {
+        let span = DateRange::with_len(Date::EPOCH, 3 * 365);
+        let s = EvalSplit::for_span(span).unwrap();
+        assert_eq!(s.test.end(), span.end());
+        assert_eq!(s.test.len_days(), 365);
+        assert_eq!(s.validation.end(), s.test.start());
+        assert_eq!(s.train, DateRange::new(span.start(), s.validation.start()));
+        assert_eq!(s.train.len_days(), 365);
+    }
+
+    #[test]
+    fn for_span_requires_enough_history() {
+        assert!(EvalSplit::for_span(DateRange::with_len(Date::EPOCH, 2 * 365)).is_none());
+        assert!(EvalSplit::for_span(DateRange::with_len(Date::EPOCH, 2 * 365 + 1)).is_some());
+    }
+
+    #[test]
+    fn train_and_validation_concatenates() {
+        let s = EvalSplit::paper();
+        let tv = s.train_and_validation();
+        assert_eq!(tv.start(), s.train.start());
+        assert_eq!(tv.end(), s.test.start());
+    }
+
+    #[test]
+    fn reference_year() {
+        let s = EvalSplit::paper();
+        let r = EvalSplit::reference_year_before(s.test);
+        assert_eq!(r, s.validation);
+    }
+}

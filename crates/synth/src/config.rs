@@ -1,0 +1,319 @@
+//! Generator configuration and presets.
+
+use wikistale_wikicube::Date;
+
+/// All knobs of the synthetic corpus generator.
+///
+/// The defaults (= [`SynthConfig::small`]) are calibrated so the raw corpus
+/// roughly matches the composition the paper reports in §4: about half of
+/// all raw changes are creations, a fifth are deletions, a third of raw
+/// updates are same-day duplicates, and a bit over half of the deduplicated
+/// updates live in fields with fewer than five changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// RNG seed; two runs with equal configs are byte-identical.
+    pub seed: u64,
+    /// First day of the corpus (paper: 2003-01-04).
+    pub start: Date,
+    /// Day after the last day of the corpus (paper: 2019-09-02, exclusive
+    /// end 2019-09-03).
+    pub end: Date,
+    /// Number of infobox templates.
+    pub num_templates: usize,
+    /// Total number of entities (infoboxes), distributed over templates
+    /// with Zipf skew.
+    pub num_entities: usize,
+
+    // ----- schema composition (per template, drawn uniformly) -----
+    /// Min/max properties per template schema.
+    pub props_per_template: (usize, usize),
+    /// Fraction of a schema that is static (created once, never updated).
+    pub static_fraction: f64,
+    /// Fraction of schemas that carry one correlated cluster.
+    pub cluster_template_fraction: f64,
+    /// Cluster size range (properties per cluster).
+    pub cluster_size: (usize, usize),
+    /// Fraction of schemas that carry one asymmetric rule pair.
+    pub rule_pair_template_fraction: f64,
+    /// Fraction of schemas that carry one seasonal property.
+    pub seasonal_template_fraction: f64,
+    /// Fraction of schemas that carry one daily-churn property.
+    pub churn_template_fraction: f64,
+    /// Fraction of a template's entities whose special processes (cluster,
+    /// rule pair, churn) are actually *active*. Most real pages with a
+    /// soccer-club template are not actively maintained; this is what keeps
+    /// the predictors' recall in the paper's single-digit range.
+    pub special_entity_fraction: f64,
+
+    // ----- change processes -----
+    /// Page maintenance sessions per year (Poisson rate).
+    pub sessions_per_year: f64,
+    /// Range of per-field touch probabilities during a session.
+    pub session_touch_prob: (f64, f64),
+    /// Cluster co-update events per year (Poisson rate).
+    pub cluster_events_per_year: f64,
+    /// Probability a cluster member is *forgotten* at a cluster event
+    /// (this is the true staleness the system is supposed to find).
+    pub cluster_forget_prob: f64,
+    /// Driver (`super`) events per year for rule pairs, concentrated in a
+    /// season window.
+    pub rule_super_events_per_year: f64,
+    /// Probability a driver event also fires the dependent (`sub`)
+    /// property (keeps the rule asymmetric: sub ⇒ super, not vice versa).
+    pub rule_sub_prob: f64,
+    /// Fraction of entities that carry one *page-specific* correlated pair
+    /// — two properties that co-change only on this page (the paper's
+    /// Beale-family example). These are visible to the field-correlation
+    /// search but not minable as template-level rules, which is what keeps
+    /// the two predictors' prediction sets only partially overlapping
+    /// (§5.3.4).
+    pub page_pair_fraction: f64,
+    /// Co-change events per year of a page-specific pair.
+    pub page_pair_events_per_year: f64,
+    /// Probability the `super` update is forgotten when `sub` fired.
+    pub rule_forget_prob: f64,
+    /// Seasonal burst: changes per burst range.
+    pub seasonal_burst_changes: (usize, usize),
+    /// Daily churn probability per day (while the entity is alive and the
+    /// churn process is in an on-season).
+    pub churn_daily_prob: f64,
+    /// Fraction of a churn template's entities whose churn counter is
+    /// actively maintained (independent of the other special processes —
+    /// running shows attract dedicated editors).
+    pub churn_entity_fraction: f64,
+    /// Probability a churn field's show is cancelled at some point — the
+    /// counter stops for good, but the threshold baseline keeps
+    /// predicting it. This (together with between-season hiatuses) is why
+    /// the paper's threshold baseline stays below the precision target.
+    pub churn_cancel_prob: f64,
+
+    // ----- noise -----
+    /// Probability an update event receives 1–3 extra same-day edits
+    /// (vandalism / fix-ups); drives the day-deduplication statistic.
+    pub same_day_extra_prob: f64,
+    /// Probability a field experiences one add/remove war (same-day
+    /// delete + create churn) during its life.
+    pub add_remove_war_prob: f64,
+    /// Probability any single change is flagged bot-reverted
+    /// (paper: 0.008 %).
+    pub bot_revert_prob: f64,
+    /// Probability a non-static field is deleted during the corpus.
+    pub field_delete_prob: f64,
+    /// Probability a static field is deleted during the corpus.
+    pub static_delete_prob: f64,
+    /// Probability a special-role field (cluster member, rule pair, churn)
+    /// is deleted. Actively co-maintained fields rarely disappear; a high
+    /// value here floods the correlation rules with dead partners and
+    /// caps precision well below the paper's operating point.
+    pub special_delete_prob: f64,
+    /// Probability a deleted field is later re-created.
+    pub recreate_prob: f64,
+}
+
+impl SynthConfig {
+    /// Tiny preset for unit tests: a few hundred entities over a short
+    /// span; generates in milliseconds.
+    pub fn tiny() -> SynthConfig {
+        SynthConfig {
+            num_templates: 12,
+            num_entities: 260,
+            start: Date::from_ymd(2014, 1, 1).expect("valid"),
+            // Densify the special processes so even a few hundred
+            // entities exercise every predictor.
+            special_entity_fraction: 0.15,
+            page_pair_fraction: 0.06,
+            churn_entity_fraction: 0.25,
+            ..SynthConfig::small()
+        }
+    }
+
+    /// Small preset (the default): full 2003–2019 span, ≈ 10 k entities,
+    /// a few hundred thousand raw changes. Runs the full evaluation in
+    /// seconds; suitable for CI.
+    pub fn small() -> SynthConfig {
+        SynthConfig {
+            seed: 20230328, // EDBT 2023 opening day
+            start: Date::WIKI_HISTORY_START,
+            end: Date::WIKI_HISTORY_END.plus_days(1),
+            num_templates: 120,
+            num_entities: 11_000,
+            props_per_template: (14, 48),
+            static_fraction: 0.90,
+            cluster_template_fraction: 0.35,
+            cluster_size: (2, 4),
+            rule_pair_template_fraction: 0.35,
+            seasonal_template_fraction: 0.30,
+            churn_template_fraction: 0.04,
+            special_entity_fraction: 0.011,
+            sessions_per_year: 0.62,
+            session_touch_prob: (0.10, 0.70),
+            cluster_events_per_year: 2.5,
+            cluster_forget_prob: 0.04,
+            rule_super_events_per_year: 8.0,
+            rule_sub_prob: 0.35,
+            page_pair_fraction: 0.009,
+            page_pair_events_per_year: 2.5,
+            rule_forget_prob: 0.03,
+            seasonal_burst_changes: (1, 3),
+            churn_daily_prob: 0.30,
+            churn_entity_fraction: 0.10,
+            churn_cancel_prob: 0.5,
+            same_day_extra_prob: 0.68,
+            add_remove_war_prob: 0.035,
+            bot_revert_prob: 0.00008,
+            field_delete_prob: 0.45,
+            static_delete_prob: 0.43,
+            special_delete_prob: 0.04,
+            recreate_prob: 0.30,
+        }
+    }
+
+    /// Medium preset: ≈ 55 k entities, a few million raw changes. This is
+    /// the scale the experiment binaries default to.
+    pub fn medium() -> SynthConfig {
+        SynthConfig {
+            num_templates: 400,
+            num_entities: 55_000,
+            ..SynthConfig::small()
+        }
+    }
+
+    /// Scale the entity and template counts by `factor`, keeping all rates
+    /// unchanged.
+    pub fn scaled(mut self, factor: f64) -> SynthConfig {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.num_entities = ((self.num_entities as f64 * factor) as usize).max(1);
+        self.num_templates = ((self.num_templates as f64 * factor.sqrt()) as usize).max(1);
+        self
+    }
+
+    /// Corpus duration in days.
+    pub fn span_days(&self) -> u32 {
+        (self.end - self.start).max(0) as u32
+    }
+
+    /// Validate parameter ranges; returns a human-readable complaint for
+    /// the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.end <= self.start {
+            return Err("end must be after start".into());
+        }
+        if self.num_templates == 0 || self.num_entities == 0 {
+            return Err("need at least one template and one entity".into());
+        }
+        if self.props_per_template.0 < 2 || self.props_per_template.0 > self.props_per_template.1 {
+            return Err("props_per_template must be an increasing range ≥ 2".into());
+        }
+        if self.cluster_size.0 < 2 || self.cluster_size.0 > self.cluster_size.1 {
+            return Err("cluster_size must be an increasing range ≥ 2".into());
+        }
+        for (name, p) in [
+            ("static_fraction", self.static_fraction),
+            ("cluster_template_fraction", self.cluster_template_fraction),
+            (
+                "rule_pair_template_fraction",
+                self.rule_pair_template_fraction,
+            ),
+            (
+                "seasonal_template_fraction",
+                self.seasonal_template_fraction,
+            ),
+            ("churn_template_fraction", self.churn_template_fraction),
+            ("special_entity_fraction", self.special_entity_fraction),
+            ("cluster_forget_prob", self.cluster_forget_prob),
+            ("rule_sub_prob", self.rule_sub_prob),
+            ("page_pair_fraction", self.page_pair_fraction),
+            ("rule_forget_prob", self.rule_forget_prob),
+            ("churn_daily_prob", self.churn_daily_prob),
+            ("churn_cancel_prob", self.churn_cancel_prob),
+            ("churn_entity_fraction", self.churn_entity_fraction),
+            ("same_day_extra_prob", self.same_day_extra_prob),
+            ("add_remove_war_prob", self.add_remove_war_prob),
+            ("bot_revert_prob", self.bot_revert_prob),
+            ("field_delete_prob", self.field_delete_prob),
+            ("static_delete_prob", self.static_delete_prob),
+            ("special_delete_prob", self.special_delete_prob),
+            ("recreate_prob", self.recreate_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must lie in [0, 1], got {p}"));
+            }
+        }
+        let (lo, hi) = self.session_touch_prob;
+        if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+            return Err("session_touch_prob must be an increasing range in [0, 1]".into());
+        }
+        for (name, r) in [
+            ("sessions_per_year", self.sessions_per_year),
+            ("page_pair_events_per_year", self.page_pair_events_per_year),
+            ("cluster_events_per_year", self.cluster_events_per_year),
+            (
+                "rule_super_events_per_year",
+                self.rule_super_events_per_year,
+            ),
+        ] {
+            if !r.is_finite() || r < 0.0 {
+                return Err(format!("{name} must be a non-negative rate, got {r}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        SynthConfig::tiny().validate().unwrap();
+        SynthConfig::small().validate().unwrap();
+        SynthConfig::medium().validate().unwrap();
+        assert_eq!(SynthConfig::default(), SynthConfig::small());
+    }
+
+    #[test]
+    fn span_matches_paper() {
+        // 2003-01-04 ..= 2019-09-02 is 6,086 days.
+        assert_eq!(SynthConfig::small().span_days(), 6_086);
+    }
+
+    #[test]
+    fn scaled_changes_counts_only() {
+        let base = SynthConfig::small();
+        let scaled = base.clone().scaled(0.5);
+        assert_eq!(scaled.num_entities, 5_500);
+        assert!(scaled.num_templates < base.num_templates);
+        assert_eq!(scaled.seed, base.seed);
+        assert_eq!(scaled.sessions_per_year, base.sessions_per_year);
+    }
+
+    #[test]
+    fn validate_catches_bad_values() {
+        let mut c = SynthConfig::small();
+        c.static_fraction = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = SynthConfig::small();
+        c.end = c.start;
+        assert!(c.validate().is_err());
+
+        let mut c = SynthConfig::small();
+        c.session_touch_prob = (0.9, 0.1);
+        assert!(c.validate().is_err());
+
+        let mut c = SynthConfig::small();
+        c.props_per_template = (1, 5);
+        assert!(c.validate().is_err());
+
+        let mut c = SynthConfig::small();
+        c.sessions_per_year = -1.0;
+        assert!(c.validate().is_err());
+    }
+}

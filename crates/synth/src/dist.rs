@@ -1,0 +1,172 @@
+//! Small sampling helpers on top of `rand`.
+//!
+//! Only what the generator needs: exponential inter-arrival times (for
+//! Poisson processes), Zipf-skewed discrete weights, and uniform ranges.
+//! Implemented here rather than pulling `rand_distr` to keep the
+//! dependency set to the approved offline list.
+
+use rand::Rng;
+
+/// Sample an exponential inter-arrival time with rate `rate` (events per
+/// day), in days. Returns `f64::INFINITY` for a zero rate.
+pub fn exp_days<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    // Inverse CDF; `random::<f64>()` is in [0, 1), guard the log at 0.
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+/// Sample the event days of a Poisson process with `rate_per_year` over
+/// `span_days` days, as offsets in `[0, span_days)`.
+pub fn poisson_process_days<R: Rng + ?Sized>(
+    rng: &mut R,
+    rate_per_year: f64,
+    span_days: u32,
+) -> Vec<u32> {
+    let rate_per_day = rate_per_year / 365.25;
+    let mut days = Vec::new();
+    let mut t = exp_days(rng, rate_per_day);
+    while t < span_days as f64 {
+        days.push(t as u32);
+        t += exp_days(rng, rate_per_day);
+    }
+    days
+}
+
+/// Zipf-like weights `1 / (rank + 1)^s` for `n` ranks, normalized to sum
+/// to 1.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+/// Apportion `total` units over `weights` (which must sum to ≈ 1), giving
+/// every rank at least one unit while the budget lasts. The result sums to
+/// exactly `total` when `total ≥ weights.len()`.
+pub fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .map(|w| (w * total as f64).floor() as usize)
+        .collect();
+    for c in counts.iter_mut() {
+        if *c == 0 {
+            *c = 1;
+        }
+    }
+    // Fix up rounding drift against the largest ranks first.
+    let mut assigned: usize = counts.iter().sum();
+    let mut i = 0;
+    while assigned > total && counts.iter().any(|&c| c > 1) {
+        let idx = counts.len() - 1 - (i % counts.len());
+        if counts[idx] > 1 {
+            counts[idx] -= 1;
+            assigned -= 1;
+        }
+        i += 1;
+    }
+    let n = counts.len();
+    let mut i = 0;
+    while assigned < total {
+        counts[i % n] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    counts
+}
+
+/// Uniform sample from an inclusive `(lo, hi)` pair.
+pub fn uniform_range<R: Rng + ?Sized>(rng: &mut R, range: (usize, usize)) -> usize {
+    if range.0 >= range.1 {
+        range.0
+    } else {
+        rng.random_range(range.0..=range.1)
+    }
+}
+
+/// Uniform `f64` sample from an inclusive `(lo, hi)` pair.
+pub fn uniform_f64<R: Rng + ?Sized>(rng: &mut R, range: (f64, f64)) -> f64 {
+    if range.0 >= range.1 {
+        range.0
+    } else {
+        rng.random_range(range.0..=range.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn exp_days_mean_is_inverse_rate() {
+        let mut r = rng();
+        let rate = 0.2;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp_days(&mut r, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.2, "mean {mean}");
+        assert_eq!(exp_days(&mut r, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn poisson_process_density() {
+        let mut r = rng();
+        // 12 events/year over 10 years → expect ≈ 120 events.
+        let days = poisson_process_days(&mut r, 12.0, 3_652);
+        assert!((100..=140).contains(&days.len()), "{} events", days.len());
+        assert!(days.windows(2).all(|w| w[0] <= w[1]));
+        assert!(days.iter().all(|&d| d < 3_652));
+        assert!(poisson_process_days(&mut r, 0.0, 1000).is_empty());
+    }
+
+    #[test]
+    fn zipf_weights_normalized_and_decreasing() {
+        let w = zipf_weights(50, 0.8);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        assert!(w[0] > w[49] * 10.0);
+    }
+
+    #[test]
+    fn apportion_sums_and_minimum() {
+        let w = zipf_weights(10, 1.0);
+        let counts = apportion(100, &w);
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        assert!(counts.iter().all(|&c| c >= 1));
+        assert!(counts[0] >= counts[9]);
+        // Degenerate: fewer units than ranks still gives everyone ≥ 1.
+        let tight = apportion(3, &zipf_weights(5, 1.0));
+        assert!(tight.iter().all(|&c| c >= 1));
+        assert!(apportion(10, &[]).is_empty());
+    }
+
+    #[test]
+    fn uniform_helpers_handle_degenerate_ranges() {
+        let mut r = rng();
+        assert_eq!(uniform_range(&mut r, (4, 4)), 4);
+        assert_eq!(uniform_f64(&mut r, (0.3, 0.3)), 0.3);
+        for _ in 0..100 {
+            let v = uniform_range(&mut r, (2, 5));
+            assert!((2..=5).contains(&v));
+            let f = uniform_f64(&mut r, (0.1, 0.9));
+            assert!((0.1..=0.9).contains(&f));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = poisson_process_days(&mut rng(), 5.0, 2000);
+        let b = poisson_process_days(&mut rng(), 5.0, 2000);
+        assert_eq!(a, b);
+    }
+}

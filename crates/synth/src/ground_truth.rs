@@ -1,0 +1,106 @@
+//! Ground-truth staleness bookkeeping.
+//!
+//! The evaluation protocol of the paper treats the *observed* change
+//! history as truth, which — as §5.4 discusses — penalizes a predictor for
+//! correctly flagging updates the editors genuinely forgot. Because our
+//! corpus is generated, we know exactly which updates were forgotten; the
+//! generator records them here so examples and the §5.4-style analysis can
+//! measure how many "false positives" are actually true staleness.
+
+use wikistale_wikicube::{ChangeCube, Date, EntityId, FieldId, PropertyId};
+
+/// One update that *should* have happened but was not made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForgottenUpdate {
+    /// The day the co-updating process fired without this field.
+    pub day: Date,
+    /// The stale field.
+    pub field: FieldId,
+}
+
+/// All forgotten updates of a generated corpus, sorted by `(day, field)`.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    forgotten: Vec<ForgottenUpdate>,
+}
+
+impl GroundTruth {
+    /// Record a forgotten update (generator-internal).
+    pub(crate) fn record(&mut self, day: Date, entity: EntityId, property: PropertyId) {
+        self.forgotten.push(ForgottenUpdate {
+            day,
+            field: FieldId::new(entity, property),
+        });
+    }
+
+    /// Finalize ordering (generator-internal).
+    pub(crate) fn seal(&mut self) {
+        self.forgotten.sort_unstable_by_key(|f| (f.day, f.field));
+    }
+
+    /// All forgotten updates, sorted by `(day, field)`.
+    pub fn forgotten(&self) -> &[ForgottenUpdate] {
+        &self.forgotten
+    }
+
+    /// Number of forgotten updates.
+    pub fn len(&self) -> usize {
+        self.forgotten.len()
+    }
+
+    /// Whether no update was forgotten.
+    pub fn is_empty(&self) -> bool {
+        self.forgotten.is_empty()
+    }
+
+    /// Whether `field` was stale at any day in `[start, end)` — i.e. a
+    /// forgotten update for it falls inside the window.
+    pub fn was_stale_in(&self, field: FieldId, start: Date, end: Date) -> bool {
+        let lo = self.forgotten.partition_point(|f| f.day < start);
+        self.forgotten[lo..]
+            .iter()
+            .take_while(|f| f.day < end)
+            .any(|f| f.field == field)
+    }
+
+    /// Human-readable description of a forgotten update against a cube.
+    pub fn describe(&self, cube: &ChangeCube, f: &ForgottenUpdate) -> String {
+        format!(
+            "{}: page {:?}, property {:?} missed an expected update",
+            f.day,
+            cube.page_title(cube.page_of(f.field.entity)),
+            cube.property_name(f.field.property),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wikistale_wikicube::{EntityId, PropertyId};
+
+    fn field(e: u32, p: u32) -> FieldId {
+        FieldId::new(EntityId(e), PropertyId(p))
+    }
+
+    #[test]
+    fn records_and_queries() {
+        let mut gt = GroundTruth::default();
+        gt.record(Date::EPOCH + 10, EntityId(1), PropertyId(2));
+        gt.record(Date::EPOCH + 5, EntityId(0), PropertyId(0));
+        gt.seal();
+        assert_eq!(gt.len(), 2);
+        assert_eq!(gt.forgotten()[0].day, Date::EPOCH + 5);
+        assert!(gt.was_stale_in(field(1, 2), Date::EPOCH + 10, Date::EPOCH + 11));
+        assert!(gt.was_stale_in(field(1, 2), Date::EPOCH, Date::EPOCH + 100));
+        assert!(!gt.was_stale_in(field(1, 2), Date::EPOCH + 11, Date::EPOCH + 100));
+        assert!(!gt.was_stale_in(field(9, 9), Date::EPOCH, Date::EPOCH + 100));
+    }
+
+    #[test]
+    fn empty_truth() {
+        let gt = GroundTruth::default();
+        assert!(gt.is_empty());
+        assert!(!gt.was_stale_in(field(0, 0), Date::EPOCH, Date::EPOCH + 1));
+    }
+}

@@ -1,0 +1,282 @@
+//! Template schema synthesis: which properties a template has and how each
+//! behaves.
+
+use crate::config::SynthConfig;
+use crate::dist::{apportion, uniform_f64, uniform_range, zipf_weights};
+use rand::Rng;
+
+/// The behavioural archetype of a property within its template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyRole {
+    /// Created once, never updated (birth dates, coordinates, …). The
+    /// overwhelming majority of real infobox fields.
+    Static,
+    /// Updated opportunistically whenever a page maintenance session
+    /// touches the page, with this per-property probability.
+    Session {
+        /// Probability a session updates this property.
+        touch_prob: f64,
+    },
+    /// Member of the template's correlated cluster: all members update on
+    /// the same day, modulo forgetting (the §3.2 signal).
+    ClusterMember {
+        /// Cluster group index (one cluster per template today).
+        group: usize,
+    },
+    /// Dependent half of the asymmetric rule pair: changes only alongside
+    /// some [`PropertyRole::RuleSuper`] events (`ko`, `goals_scored`).
+    RuleSub,
+    /// Driver half of the asymmetric rule pair: changes on every event
+    /// (`wins`, `matches_played`). A change in the sub property implies a
+    /// change here — the §3.3 signal.
+    RuleSuper,
+    /// Bursts of changes once a year in a fixed month (league seasons).
+    Seasonal {
+        /// Burst start as day-of-year offset (0–334).
+        phase: u32,
+    },
+    /// Changes almost every day (episode counters of running shows).
+    Churn,
+}
+
+impl PropertyRole {
+    /// Whether fields of this role are ever updated after creation.
+    pub fn is_updatable(&self) -> bool {
+        !matches!(self, PropertyRole::Static)
+    }
+
+    /// Whether this role only runs on *special* (actively maintained)
+    /// entities of the template.
+    pub fn is_special(&self) -> bool {
+        matches!(
+            self,
+            PropertyRole::ClusterMember { .. }
+                | PropertyRole::RuleSub
+                | PropertyRole::RuleSuper
+                | PropertyRole::Churn
+        )
+    }
+}
+
+/// One property of a template schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertySpec {
+    /// Property name, unique within the template.
+    pub name: String,
+    /// Behavioural archetype.
+    pub role: PropertyRole,
+}
+
+/// A synthesized template: name, entity budget, and property schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateSpec {
+    /// Template name (`infobox synth-17`).
+    pub name: String,
+    /// Number of entities instantiating this template.
+    pub entity_count: usize,
+    /// Property schema.
+    pub properties: Vec<PropertySpec>,
+}
+
+impl TemplateSpec {
+    /// Indices of the properties in `group`'s cluster.
+    pub fn cluster_members(&self, group: usize) -> Vec<usize> {
+        self.properties
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.role == PropertyRole::ClusterMember { group })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Index of the rule-pair driver property, if the template has one.
+    pub fn rule_super(&self) -> Option<usize> {
+        self.properties
+            .iter()
+            .position(|p| p.role == PropertyRole::RuleSuper)
+    }
+
+    /// Index of the rule-pair dependent property, if the template has one.
+    pub fn rule_sub(&self) -> Option<usize> {
+        self.properties
+            .iter()
+            .position(|p| p.role == PropertyRole::RuleSub)
+    }
+}
+
+/// Build all template schemas for `config`.
+///
+/// Entity counts follow Zipf weights (a few huge templates like
+/// `infobox settlement`, a long tail of tiny ones). Special archetypes are
+/// assigned to the configured fraction of templates, deterministically
+/// spread via the per-template RNG draw.
+pub fn build_schemas<R: Rng + ?Sized>(config: &SynthConfig, rng: &mut R) -> Vec<TemplateSpec> {
+    let weights = zipf_weights(config.num_templates, 0.9);
+    let entity_counts = apportion(config.num_entities, &weights);
+    let mut templates = Vec::with_capacity(config.num_templates);
+    for (t, &entity_count) in entity_counts.iter().enumerate() {
+        let n_props = uniform_range(rng, config.props_per_template);
+        let mut properties = Vec::with_capacity(n_props);
+
+        let has_cluster = rng.random_bool(config.cluster_template_fraction);
+        let has_rule_pair = rng.random_bool(config.rule_pair_template_fraction);
+        let has_seasonal = rng.random_bool(config.seasonal_template_fraction);
+        let has_churn = rng.random_bool(config.churn_template_fraction);
+
+        if has_cluster {
+            let size = uniform_range(rng, config.cluster_size);
+            for m in 0..size {
+                properties.push(PropertySpec {
+                    name: format!("cluster0_part{m}"),
+                    role: PropertyRole::ClusterMember { group: 0 },
+                });
+            }
+        }
+        if has_rule_pair {
+            properties.push(PropertySpec {
+                name: "count_major".to_owned(),
+                role: PropertyRole::RuleSuper,
+            });
+            properties.push(PropertySpec {
+                name: "count_minor".to_owned(),
+                role: PropertyRole::RuleSub,
+            });
+        }
+        if has_seasonal {
+            properties.push(PropertySpec {
+                name: "season_stat".to_owned(),
+                role: PropertyRole::Seasonal {
+                    phase: rng.random_range(0..335),
+                },
+            });
+        }
+        if has_churn {
+            properties.push(PropertySpec {
+                name: "num_episodes".to_owned(),
+                role: PropertyRole::Churn,
+            });
+        }
+
+        // Fill the remainder with statics and session-updated fields.
+        let remaining = n_props.saturating_sub(properties.len());
+        let n_static = (remaining as f64 * config.static_fraction).round() as usize;
+        for i in 0..remaining {
+            if i < n_static {
+                properties.push(PropertySpec {
+                    name: format!("static_{i}"),
+                    role: PropertyRole::Static,
+                });
+            } else {
+                properties.push(PropertySpec {
+                    name: format!("detail_{}", i - n_static),
+                    role: PropertyRole::Session {
+                        touch_prob: uniform_f64(rng, config.session_touch_prob),
+                    },
+                });
+            }
+        }
+
+        templates.push(TemplateSpec {
+            name: format!("infobox synth-{t}"),
+            entity_count,
+            properties,
+        });
+    }
+    templates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schemas() -> Vec<TemplateSpec> {
+        let config = SynthConfig::small();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        build_schemas(&config, &mut rng)
+    }
+
+    #[test]
+    fn entity_budget_is_exact_and_skewed() {
+        let config = SynthConfig::small();
+        let templates = schemas();
+        assert_eq!(templates.len(), config.num_templates);
+        let total: usize = templates.iter().map(|t| t.entity_count).sum();
+        assert_eq!(total, config.num_entities);
+        assert!(templates[0].entity_count > templates.last().unwrap().entity_count);
+    }
+
+    #[test]
+    fn property_names_unique_within_template() {
+        for t in schemas() {
+            let mut names: Vec<&str> = t.properties.iter().map(|p| p.name.as_str()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate property in {}", t.name);
+        }
+    }
+
+    #[test]
+    fn archetype_fractions_roughly_match_config() {
+        let config = SynthConfig::small();
+        let templates = schemas();
+        let with_cluster = templates
+            .iter()
+            .filter(|t| !t.cluster_members(0).is_empty())
+            .count() as f64
+            / templates.len() as f64;
+        assert!((with_cluster - config.cluster_template_fraction).abs() < 0.15);
+        let with_rule = templates
+            .iter()
+            .filter(|t| t.rule_super().is_some())
+            .count() as f64
+            / templates.len() as f64;
+        assert!((with_rule - config.rule_pair_template_fraction).abs() < 0.15);
+    }
+
+    #[test]
+    fn rule_pair_comes_in_pairs() {
+        for t in schemas() {
+            assert_eq!(t.rule_super().is_some(), t.rule_sub().is_some());
+            if let Some(s) = t.rule_super() {
+                assert_ne!(Some(s), t.rule_sub());
+            }
+        }
+    }
+
+    #[test]
+    fn statics_dominate() {
+        let templates = schemas();
+        let (statics, total): (usize, usize) = templates.iter().fold((0, 0), |(s, n), t| {
+            (
+                s + t
+                    .properties
+                    .iter()
+                    .filter(|p| p.role == PropertyRole::Static)
+                    .count(),
+                n + t.properties.len(),
+            )
+        });
+        let frac = statics as f64 / total as f64;
+        assert!(frac > 0.6, "static fraction {frac}");
+    }
+
+    #[test]
+    fn role_predicates() {
+        assert!(!PropertyRole::Static.is_updatable());
+        assert!(PropertyRole::Churn.is_updatable());
+        assert!(PropertyRole::Churn.is_special());
+        assert!(PropertyRole::RuleSub.is_special());
+        assert!(!PropertyRole::Session { touch_prob: 0.5 }.is_special());
+        assert!(!PropertyRole::Seasonal { phase: 10 }.is_special());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = schemas();
+        let b = schemas();
+        assert_eq!(a, b);
+    }
+}

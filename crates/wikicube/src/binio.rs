@@ -1,0 +1,322 @@
+//! Versioned binary persistence for change cubes.
+//!
+//! The format is a straightforward length-prefixed encoding:
+//!
+//! ```text
+//! magic    8 bytes  "WCUBE\0\0\0"
+//! version  u32      currently 1
+//! interner ×5       entities, properties, templates, pages, values
+//!   count  u32
+//!   string ×count   u32 byte length + UTF-8 bytes
+//! entities u32 count, ×count { template u32, page u32 }
+//! changes  u64 count, ×count { day i32, entity u32, property u32,
+//!                              value u32, kind u8, flags u8 }
+//! ```
+//!
+//! All integers are little-endian. Reading validates magic, version, string
+//! UTF-8, id referential integrity and (via the cube constructor)
+//! restores canonical ordering, so a cube read back is byte-for-byte
+//! re-serializable.
+
+use crate::change::{Change, ChangeFlags, ChangeKind};
+use crate::cube::{ChangeCube, EntityMeta};
+use crate::date::Date;
+use crate::error::CubeError;
+use crate::ids::{EntityId, PageId, PropertyId, TemplateId, ValueId};
+use crate::intern::Interner;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"WCUBE\0\0\0";
+const VERSION: u32 = 1;
+
+/// Serialize `cube` into a byte buffer.
+pub fn encode(cube: &ChangeCube) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + cube.num_changes() * 18);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    for interner in [
+        cube.entities(),
+        cube.properties(),
+        cube.templates(),
+        cube.pages(),
+        cube.values(),
+    ] {
+        put_interner(&mut buf, interner);
+    }
+    buf.put_u32_le(cube.entity_meta().len() as u32);
+    for meta in cube.entity_meta() {
+        buf.put_u32_le(meta.template.0);
+        buf.put_u32_le(meta.page.0);
+    }
+    buf.put_u64_le(cube.num_changes() as u64);
+    for c in cube.changes() {
+        buf.put_i32_le(c.day.day_number());
+        buf.put_u32_le(c.entity.0);
+        buf.put_u32_le(c.property.0);
+        buf.put_u32_le(c.value.0);
+        buf.put_u8(c.kind as u8);
+        buf.put_u8(c.flags.bits());
+    }
+    buf.freeze()
+}
+
+/// Deserialize a cube from bytes produced by [`encode`].
+pub fn decode(mut data: &[u8]) -> Result<ChangeCube, CubeError> {
+    let buf = &mut data;
+    let magic = take_bytes(buf, 8)?;
+    if magic != MAGIC {
+        return Err(CubeError::BadMagic);
+    }
+    let version = take_u32(buf)?;
+    if version != VERSION {
+        return Err(CubeError::UnsupportedVersion(version));
+    }
+    let entities = take_interner(buf)?;
+    let properties = take_interner(buf)?;
+    let templates = take_interner(buf)?;
+    let pages = take_interner(buf)?;
+    let values = take_interner(buf)?;
+
+    let n_entities = take_u32(buf)? as usize;
+    let mut entity_meta = Vec::with_capacity(n_entities.min(1 << 20));
+    for _ in 0..n_entities {
+        entity_meta.push(EntityMeta {
+            template: TemplateId(take_u32(buf)?),
+            page: PageId(take_u32(buf)?),
+        });
+    }
+
+    let n_changes = take_u64(buf)? as usize;
+    let mut changes = Vec::with_capacity(n_changes.min(1 << 24));
+    for _ in 0..n_changes {
+        let day = Date::from_day_number(take_i32(buf)?);
+        let entity = EntityId(take_u32(buf)?);
+        let property = PropertyId(take_u32(buf)?);
+        let value = ValueId(take_u32(buf)?);
+        let kind_raw = take_u8(buf)?;
+        let kind = ChangeKind::from_u8(kind_raw)
+            .ok_or_else(|| CubeError::Corrupt(format!("unknown change kind {kind_raw}")))?;
+        let flags = ChangeFlags::from_bits(take_u8(buf)?);
+        changes.push(Change {
+            day,
+            entity,
+            property,
+            value,
+            kind,
+            flags,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(CubeError::Corrupt(format!(
+            "{} trailing bytes",
+            buf.remaining()
+        )));
+    }
+    ChangeCube::from_parts(
+        entities,
+        properties,
+        templates,
+        pages,
+        values,
+        entity_meta,
+        changes,
+    )
+}
+
+/// Write `cube` to `path` (atomically via a sibling temp file).
+pub fn write_to_path(cube: &ChangeCube, path: &Path) -> Result<(), CubeError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(&encode(cube))?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a cube previously written with [`write_to_path`].
+pub fn read_from_path(path: &Path) -> Result<ChangeCube, CubeError> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    decode(&data)
+}
+
+fn put_interner(buf: &mut BytesMut, interner: &Interner) {
+    buf.put_u32_le(interner.len() as u32);
+    for (_, s) in interner.iter() {
+        buf.put_u32_le(s.len() as u32);
+        buf.put_slice(s.as_bytes());
+    }
+}
+
+fn take_interner(buf: &mut &[u8]) -> Result<Interner, CubeError> {
+    let count = take_u32(buf)? as usize;
+    let mut strings = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let len = take_u32(buf)? as usize;
+        let bytes = take_bytes(buf, len)?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| CubeError::Corrupt(format!("invalid UTF-8 in interner: {e}")))?;
+        strings.push(s.to_owned());
+    }
+    Interner::from_ordered(strings).map_err(CubeError::Corrupt)
+}
+
+fn take_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CubeError> {
+    if buf.len() < n {
+        return Err(CubeError::Corrupt(format!(
+            "need {n} bytes, {} remain",
+            buf.len()
+        )));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8, CubeError> {
+    Ok(take_bytes(buf, 1)?[0])
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, CubeError> {
+    Ok(u32::from_le_bytes(take_bytes(buf, 4)?.try_into().unwrap()))
+}
+
+fn take_i32(buf: &mut &[u8]) -> Result<i32, CubeError> {
+    Ok(i32::from_le_bytes(take_bytes(buf, 4)?.try_into().unwrap()))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, CubeError> {
+    Ok(u64::from_le_bytes(take_bytes(buf, 8)?.try_into().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::ChangeCubeBuilder;
+    use proptest::prelude::*;
+
+    fn sample_cube() -> ChangeCube {
+        let mut b = ChangeCubeBuilder::new();
+        let ali = b.entity("Ali", "infobox boxer", "Muhammad Ali");
+        let wins = b.property("wins");
+        let ko = b.property("ko");
+        b.change(Date::EPOCH + 10, ali, wins, "56", ChangeKind::Update);
+        b.change_full(
+            Date::EPOCH + 11,
+            ali,
+            ko,
+            "37",
+            ChangeKind::Create,
+            ChangeFlags::BOT_REVERTED,
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let cube = sample_cube();
+        let bytes = encode(&cube);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.changes(), cube.changes());
+        assert_eq!(back.num_entities(), cube.num_entities());
+        assert_eq!(back.entity_name(EntityId(0)), "Ali");
+        assert_eq!(back.template_name(TemplateId(0)), "infobox boxer");
+        assert_eq!(back.value_text(ValueId(0)), "56");
+        assert!(back.changes()[1].flags.is_bot_reverted());
+        // Deterministic: re-encoding is byte-identical.
+        assert_eq!(encode(&back), bytes);
+    }
+
+    #[test]
+    fn empty_cube_round_trips() {
+        let cube = ChangeCubeBuilder::new().finish();
+        let back = decode(&encode(&cube)).unwrap();
+        assert_eq!(back.num_changes(), 0);
+        assert_eq!(back.num_entities(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(decode(b"NOTACUBE"), Err(CubeError::BadMagic)));
+        assert!(matches!(decode(b""), Err(CubeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut bytes = encode(&sample_cube()).to_vec();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(CubeError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = encode(&sample_cube());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = encode(&sample_cube()).to_vec();
+        bytes.push(0);
+        assert!(matches!(decode(&bytes), Err(CubeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let cube = sample_cube();
+        let dir = std::env::temp_dir().join("wikicube-binio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cube.wcube");
+        write_to_path(&cube, &path).unwrap();
+        let back = read_from_path(&path).unwrap();
+        assert_eq!(back.changes(), cube.changes());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_round_trip(
+            days in proptest::collection::vec(0i32..2000, 1..60),
+            n_entities in 1usize..6,
+            n_props in 1usize..6,
+        ) {
+            let mut b = ChangeCubeBuilder::new();
+            let entities: Vec<_> = (0..n_entities)
+                .map(|i| b.entity(&format!("e{i}"), &format!("t{}", i % 2), &format!("pg{i}")))
+                .collect();
+            let props: Vec<_> = (0..n_props).map(|i| b.property(&format!("p{i}"))).collect();
+            for (i, &d) in days.iter().enumerate() {
+                let kind = match i % 3 {
+                    0 => ChangeKind::Create,
+                    1 => ChangeKind::Update,
+                    _ => ChangeKind::Delete,
+                };
+                b.change(
+                    Date::EPOCH + d,
+                    entities[i % n_entities],
+                    props[i % n_props],
+                    &format!("v{i}"),
+                    kind,
+                );
+            }
+            let cube = b.finish();
+            let back = decode(&encode(&cube)).unwrap();
+            prop_assert_eq!(back.changes(), cube.changes());
+            prop_assert_eq!(encode(&back), encode(&cube));
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! The [`ChangeCube`] container and its builder.
+
+use crate::change::{Change, ChangeFlags, ChangeKind};
+use crate::date::{Date, DateRange};
+use crate::error::CubeError;
+use crate::ids::{EntityId, PageId, PropertyId, TemplateId, ValueId};
+use crate::intern::Interner;
+
+/// Per-entity metadata: every infobox belongs to exactly one template and
+/// lives on exactly one page (paper §3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EntityMeta {
+    /// The infobox template defining the entity's schema.
+    pub template: TemplateId,
+    /// The page the infobox appears on.
+    pub page: PageId,
+}
+
+/// An immutable, canonically-ordered collection of infobox changes together
+/// with the dimension tables (interners) its ids refer to.
+///
+/// The change table is sorted by `(day, entity, property)`; this makes
+/// time-range scans a binary search plus a linear walk and lets the filter
+/// pipeline stream in one pass.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeCube {
+    entities: Interner,
+    properties: Interner,
+    templates: Interner,
+    pages: Interner,
+    values: Interner,
+    entity_meta: Vec<EntityMeta>,
+    changes: Vec<Change>,
+}
+
+impl ChangeCube {
+    /// Assemble a cube from already-built parts. Used by the builder and by
+    /// the persistence layer; validates referential integrity and ordering.
+    pub(crate) fn from_parts(
+        entities: Interner,
+        properties: Interner,
+        templates: Interner,
+        pages: Interner,
+        values: Interner,
+        entity_meta: Vec<EntityMeta>,
+        mut changes: Vec<Change>,
+    ) -> Result<ChangeCube, CubeError> {
+        if entity_meta.len() != entities.len() {
+            return Err(CubeError::Corrupt(format!(
+                "{} entities but {} metadata rows",
+                entities.len(),
+                entity_meta.len()
+            )));
+        }
+        for (i, meta) in entity_meta.iter().enumerate() {
+            if meta.template.index() >= templates.len() {
+                return Err(CubeError::DanglingId(format!(
+                    "entity {i} references template {}",
+                    meta.template
+                )));
+            }
+            if meta.page.index() >= pages.len() {
+                return Err(CubeError::DanglingId(format!(
+                    "entity {i} references page {}",
+                    meta.page
+                )));
+            }
+        }
+        for c in &changes {
+            if c.entity.index() >= entities.len() {
+                return Err(CubeError::DanglingId(format!("change entity {}", c.entity)));
+            }
+            if c.property.index() >= properties.len() {
+                return Err(CubeError::DanglingId(format!(
+                    "change property {}",
+                    c.property
+                )));
+            }
+            if c.value.index() >= values.len() {
+                return Err(CubeError::DanglingId(format!("change value {}", c.value)));
+            }
+        }
+        if !changes.is_sorted_by_key(|c| c.sort_key()) {
+            changes.sort_unstable_by_key(|c| c.sort_key());
+        }
+        Ok(ChangeCube {
+            entities,
+            properties,
+            templates,
+            pages,
+            values,
+            entity_meta,
+            changes,
+        })
+    }
+
+    /// All changes in canonical `(day, entity, property)` order.
+    pub fn changes(&self) -> &[Change] {
+        &self.changes
+    }
+
+    /// Number of changes.
+    pub fn num_changes(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Number of distinct entities (infoboxes).
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of distinct property names.
+    pub fn num_properties(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Number of distinct templates.
+    pub fn num_templates(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Number of distinct pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of distinct interned values.
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The template an entity belongs to.
+    pub fn template_of(&self, entity: EntityId) -> TemplateId {
+        self.entity_meta[entity.index()].template
+    }
+
+    /// The page an entity lives on.
+    pub fn page_of(&self, entity: EntityId) -> PageId {
+        self.entity_meta[entity.index()].page
+    }
+
+    /// Per-entity metadata table, indexed by [`EntityId`].
+    pub fn entity_meta(&self) -> &[EntityMeta] {
+        &self.entity_meta
+    }
+
+    /// Resolve an entity id to its name.
+    pub fn entity_name(&self, id: EntityId) -> &str {
+        self.entities.resolve(id.0)
+    }
+
+    /// Resolve a property id to its name.
+    pub fn property_name(&self, id: PropertyId) -> &str {
+        self.properties.resolve(id.0)
+    }
+
+    /// Resolve a template id to its name.
+    pub fn template_name(&self, id: TemplateId) -> &str {
+        self.templates.resolve(id.0)
+    }
+
+    /// Resolve a page id to its title.
+    pub fn page_title(&self, id: PageId) -> &str {
+        self.pages.resolve(id.0)
+    }
+
+    /// Resolve a value id to its text.
+    pub fn value_text(&self, id: ValueId) -> &str {
+        self.values.resolve(id.0)
+    }
+
+    /// Look up an entity by name.
+    pub fn entity_id(&self, name: &str) -> Option<EntityId> {
+        self.entities.get(name).map(EntityId)
+    }
+
+    /// Look up a property by name.
+    pub fn property_id(&self, name: &str) -> Option<PropertyId> {
+        self.properties.get(name).map(PropertyId)
+    }
+
+    /// Look up a template by name.
+    pub fn template_id(&self, name: &str) -> Option<TemplateId> {
+        self.templates.get(name).map(TemplateId)
+    }
+
+    /// Look up a page by title.
+    pub fn page_id(&self, title: &str) -> Option<PageId> {
+        self.pages.get(title).map(PageId)
+    }
+
+    /// The entity-name interner (id-ordered).
+    pub fn entities(&self) -> &Interner {
+        &self.entities
+    }
+
+    /// The property-name interner (id-ordered).
+    pub fn properties(&self) -> &Interner {
+        &self.properties
+    }
+
+    /// The template-name interner (id-ordered).
+    pub fn templates(&self) -> &Interner {
+        &self.templates
+    }
+
+    /// The page-title interner (id-ordered).
+    pub fn pages(&self) -> &Interner {
+        &self.pages
+    }
+
+    /// The value interner (id-ordered).
+    pub fn values(&self) -> &Interner {
+        &self.values
+    }
+
+    /// Half-open day range `[first change day, last change day + 1)`, or
+    /// `None` for an empty cube.
+    pub fn time_span(&self) -> Option<DateRange> {
+        let first = self.changes.first()?.day;
+        let last = self.changes.last().expect("non-empty").day;
+        Some(DateRange::new(first, last.plus_days(1)))
+    }
+
+    /// The contiguous slice of changes whose day lies in `range`.
+    ///
+    /// O(log n) thanks to the canonical time-major ordering.
+    pub fn changes_in(&self, range: DateRange) -> &[Change] {
+        let lo = self.changes.partition_point(|c| c.day < range.start());
+        let hi = self.changes.partition_point(|c| c.day < range.end());
+        &self.changes[lo..hi]
+    }
+
+    /// A new cube over the same dimension tables keeping only changes for
+    /// which `keep` returns `true`. This is the primitive the filter
+    /// pipeline is built on; dimension tables are shared unchanged so ids
+    /// remain stable across filtering.
+    pub fn retain_changes(&self, mut keep: impl FnMut(&Change) -> bool) -> ChangeCube {
+        let changes = self.changes.iter().copied().filter(|c| keep(c)).collect();
+        ChangeCube {
+            changes,
+            ..self.clone()
+        }
+    }
+
+    /// A new cube over the same dimension tables with `changes` as the
+    /// change table (re-sorted if needed). Ids must refer to this cube's
+    /// tables.
+    pub fn with_changes(&self, changes: Vec<Change>) -> Result<ChangeCube, CubeError> {
+        ChangeCube::from_parts(
+            self.entities.clone(),
+            self.properties.clone(),
+            self.templates.clone(),
+            self.pages.clone(),
+            self.values.clone(),
+            self.entity_meta.clone(),
+            changes,
+        )
+    }
+}
+
+/// Incremental constructor for [`ChangeCube`]s.
+///
+/// The builder interns strings on the fly, enforces the one-template /
+/// one-page invariant per entity, and sorts the change table once on
+/// [`ChangeCubeBuilder::finish`].
+#[derive(Debug, Default)]
+pub struct ChangeCubeBuilder {
+    entities: Interner,
+    properties: Interner,
+    templates: Interner,
+    pages: Interner,
+    values: Interner,
+    entity_meta: Vec<EntityMeta>,
+    changes: Vec<Change>,
+}
+
+impl ChangeCubeBuilder {
+    /// Create an empty builder.
+    pub fn new() -> ChangeCubeBuilder {
+        ChangeCubeBuilder::default()
+    }
+
+    /// Pre-reserve space for `n` changes.
+    pub fn reserve_changes(&mut self, n: usize) {
+        self.changes.reserve(n);
+    }
+
+    /// Register (or look up) the entity `name` belonging to `template` on
+    /// `page`.
+    ///
+    /// # Panics
+    /// Panics if `name` was previously registered with a different template
+    /// or page: each infobox belongs to exactly one of each.
+    pub fn entity(&mut self, name: &str, template: &str, page: &str) -> EntityId {
+        let template = TemplateId(self.templates.intern(template));
+        let page = PageId(self.pages.intern(page));
+        let id = self.entities.intern(name);
+        let meta = EntityMeta { template, page };
+        if let Some(existing) = self.entity_meta.get(id as usize) {
+            assert_eq!(
+                *existing, meta,
+                "entity {name:?} re-registered with different template or page"
+            );
+        } else {
+            self.entity_meta.push(meta);
+        }
+        EntityId(id)
+    }
+
+    /// Register (or look up) a property name.
+    pub fn property(&mut self, name: &str) -> PropertyId {
+        PropertyId(self.properties.intern(name))
+    }
+
+    /// Record an update change. Convenience wrapper around
+    /// [`ChangeCubeBuilder::change_full`].
+    pub fn change(
+        &mut self,
+        day: Date,
+        entity: EntityId,
+        property: PropertyId,
+        value: &str,
+        kind: ChangeKind,
+    ) -> &mut Self {
+        self.change_full(day, entity, property, value, kind, ChangeFlags::NONE)
+    }
+
+    /// Record a change with explicit flags.
+    ///
+    /// # Panics
+    /// Panics if `entity` was not registered via
+    /// [`ChangeCubeBuilder::entity`].
+    pub fn change_full(
+        &mut self,
+        day: Date,
+        entity: EntityId,
+        property: PropertyId,
+        value: &str,
+        kind: ChangeKind,
+        flags: ChangeFlags,
+    ) -> &mut Self {
+        assert!(
+            entity.index() < self.entity_meta.len(),
+            "change references unregistered entity {entity}"
+        );
+        assert!(
+            property.index() < self.properties.len(),
+            "change references unregistered property {property}"
+        );
+        let value = ValueId(self.values.intern(value));
+        self.changes.push(Change {
+            day,
+            entity,
+            property,
+            value,
+            kind,
+            flags,
+        });
+        self
+    }
+
+    /// Number of changes recorded so far.
+    pub fn num_changes(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// The (template, page) membership an already-registered entity name
+    /// has, if any — lets callers check consistency without triggering the
+    /// panic in [`ChangeCubeBuilder::entity`].
+    pub fn entity_membership(&self, name: &str) -> Option<(&str, &str)> {
+        let id = self.entities.get(name)?;
+        let meta = self.entity_meta[id as usize];
+        Some((
+            self.templates.resolve(meta.template.0),
+            self.pages.resolve(meta.page.0),
+        ))
+    }
+
+    /// Finalize into an immutable, canonically-ordered cube.
+    pub fn finish(self) -> ChangeCube {
+        ChangeCube::from_parts(
+            self.entities,
+            self.properties,
+            self.templates,
+            self.pages,
+            self.values,
+            self.entity_meta,
+            self.changes,
+        )
+        .expect("builder maintains referential integrity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(n: i32) -> Date {
+        Date::EPOCH + n
+    }
+
+    fn small_cube() -> ChangeCube {
+        let mut b = ChangeCubeBuilder::new();
+        let boxer = b.entity("Ali", "infobox boxer", "Muhammad Ali");
+        let city = b.entity("London", "infobox settlement", "London");
+        let wins = b.property("wins");
+        let ko = b.property("ko");
+        let pop = b.property("population_est");
+        b.change(day(10), boxer, wins, "56", ChangeKind::Update);
+        b.change(day(10), boxer, ko, "37", ChangeKind::Update);
+        b.change(day(5), city, pop, "8,900,000", ChangeKind::Update);
+        b.change(day(20), city, pop, "9,000,000", ChangeKind::Update);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_sorted_cube() {
+        let cube = small_cube();
+        assert_eq!(cube.num_changes(), 4);
+        let keys: Vec<_> = cube.changes().iter().map(|c| c.sort_key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(cube.changes()[0].day, day(5));
+    }
+
+    #[test]
+    fn dimension_lookups() {
+        let cube = small_cube();
+        assert_eq!(cube.num_entities(), 2);
+        assert_eq!(cube.num_properties(), 3);
+        assert_eq!(cube.num_templates(), 2);
+        assert_eq!(cube.num_pages(), 2);
+        let ali = cube.entity_id("Ali").unwrap();
+        assert_eq!(cube.entity_name(ali), "Ali");
+        assert_eq!(cube.template_name(cube.template_of(ali)), "infobox boxer");
+        assert_eq!(cube.page_title(cube.page_of(ali)), "Muhammad Ali");
+        assert_eq!(
+            cube.property_id("wins").map(|p| cube.property_name(p)),
+            Some("wins")
+        );
+        assert!(cube.entity_id("nobody").is_none());
+        assert!(cube.template_id("infobox boxer").is_some());
+        assert!(cube.page_id("London").is_some());
+    }
+
+    #[test]
+    fn values_are_interned_and_resolvable() {
+        let cube = small_cube();
+        let c = cube
+            .changes()
+            .iter()
+            .find(|c| c.day == day(20))
+            .copied()
+            .unwrap();
+        assert_eq!(cube.value_text(c.value), "9,000,000");
+        assert_eq!(cube.num_values(), 4);
+    }
+
+    #[test]
+    fn time_span_and_range_scan() {
+        let cube = small_cube();
+        let span = cube.time_span().unwrap();
+        assert_eq!(span.start(), day(5));
+        assert_eq!(span.end(), day(21));
+        assert_eq!(cube.changes_in(DateRange::new(day(5), day(11))).len(), 3);
+        assert_eq!(cube.changes_in(DateRange::new(day(6), day(10))).len(), 0);
+        assert_eq!(cube.changes_in(DateRange::new(day(0), day(100))).len(), 4);
+        let empty = ChangeCubeBuilder::new().finish();
+        assert!(empty.time_span().is_none());
+    }
+
+    #[test]
+    fn retain_changes_keeps_dimensions() {
+        let cube = small_cube();
+        let only_pop = cube.retain_changes(|c| cube.property_name(c.property) == "population_est");
+        assert_eq!(only_pop.num_changes(), 2);
+        assert_eq!(only_pop.num_entities(), cube.num_entities());
+        assert_eq!(only_pop.num_properties(), cube.num_properties());
+    }
+
+    #[test]
+    fn with_changes_re_sorts() {
+        let cube = small_cube();
+        let mut reversed: Vec<Change> = cube.changes().to_vec();
+        reversed.reverse();
+        let rebuilt = cube.with_changes(reversed).unwrap();
+        assert_eq!(rebuilt.changes(), cube.changes());
+    }
+
+    #[test]
+    fn entity_reregistration_is_idempotent() {
+        let mut b = ChangeCubeBuilder::new();
+        let a = b.entity("Ali", "infobox boxer", "Muhammad Ali");
+        let again = b.entity("Ali", "infobox boxer", "Muhammad Ali");
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "different template")]
+    fn entity_reregistration_with_new_template_panics() {
+        let mut b = ChangeCubeBuilder::new();
+        b.entity("Ali", "infobox boxer", "Muhammad Ali");
+        b.entity("Ali", "infobox settlement", "Muhammad Ali");
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered entity")]
+    fn change_for_unknown_entity_panics() {
+        let mut b = ChangeCubeBuilder::new();
+        let p = b.property("wins");
+        b.change(day(0), EntityId(7), p, "1", ChangeKind::Update);
+    }
+
+    #[test]
+    fn from_parts_rejects_dangling_ids() {
+        let cube = small_cube();
+        let mut bad = cube.changes().to_vec();
+        bad[0].entity = EntityId(99);
+        assert!(matches!(
+            cube.with_changes(bad),
+            Err(CubeError::DanglingId(_))
+        ));
+    }
+}

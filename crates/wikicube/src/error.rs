@@ -1,0 +1,68 @@
+//! Error type shared by the cube container and its persistence layer.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, reading, or writing change cubes.
+#[derive(Debug)]
+pub enum CubeError {
+    /// An I/O error from the persistence layer.
+    Io(io::Error),
+    /// The on-disk data did not start with the expected magic bytes.
+    BadMagic,
+    /// The on-disk format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The on-disk data is structurally invalid.
+    Corrupt(String),
+    /// An id referenced a dimension entry that does not exist.
+    DanglingId(String),
+}
+
+impl fmt::Display for CubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CubeError::Io(e) => write!(f, "i/o error: {e}"),
+            CubeError::BadMagic => f.write_str("not a wikicube file (bad magic)"),
+            CubeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wikicube format version {v}")
+            }
+            CubeError::Corrupt(msg) => write!(f, "corrupt wikicube data: {msg}"),
+            CubeError::DanglingId(msg) => write!(f, "dangling id: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CubeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CubeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CubeError {
+    fn from(e: io::Error) -> CubeError {
+        CubeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CubeError::BadMagic.to_string().contains("magic"));
+        assert!(CubeError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(CubeError::Corrupt("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        use std::error::Error;
+        let e: CubeError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

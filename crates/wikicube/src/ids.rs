@@ -1,0 +1,142 @@
+//! Dense `u32` newtype identifiers for the change-cube dimensions.
+//!
+//! All ids are indices into per-cube interner tables, so they are only
+//! meaningful relative to the [`crate::ChangeCube`] that issued them. Using
+//! dense ids keeps the hot paths (distance kernels, transaction building,
+//! index lookups) free of string hashing and makes arrays the natural
+//! id-keyed container.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn from_index(index: usize) -> $name {
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// An infobox instance. Each entity belongs to exactly one
+    /// [`TemplateId`] and lives on exactly one [`PageId`].
+    EntityId,
+    "e"
+);
+id_newtype!(
+    /// An infobox attribute name (e.g. `population_est`), shared across all
+    /// templates that use the same attribute name.
+    PropertyId,
+    "p"
+);
+id_newtype!(
+    /// An infobox template (e.g. `infobox settlement`), defining the shared
+    /// property schema of a group of entities.
+    TemplateId,
+    "t"
+);
+id_newtype!(
+    /// A Wikipedia page. Field-correlation search is restricted to fields of
+    /// the same page (paper §3.2).
+    PageId,
+    "pg"
+);
+id_newtype!(
+    /// An interned property value. The predictors ignore values, but the
+    /// cube keeps them so ingestion is lossless and the §5.4 ground-truth
+    /// case study can inspect them.
+    ValueId,
+    "v"
+);
+
+/// A *field*: the combination of an entity and one of its properties
+/// (paper §3.1). Fields are the unit of staleness prediction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FieldId {
+    /// The infobox the field belongs to.
+    pub entity: EntityId,
+    /// The changed attribute.
+    pub property: PropertyId,
+}
+
+impl FieldId {
+    /// Construct a field id.
+    #[inline]
+    pub const fn new(entity: EntityId, property: PropertyId) -> FieldId {
+        FieldId { entity, property }
+    }
+}
+
+impl fmt::Debug for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.entity, self.property)
+    }
+}
+
+impl fmt::Display for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.entity, self.property)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let e = EntityId::from_index(42);
+        assert_eq!(e.index(), 42);
+        assert_eq!(usize::from(e), 42);
+        assert_eq!(format!("{e}"), "e42");
+        assert_eq!(format!("{e:?}"), "e42");
+    }
+
+    #[test]
+    fn field_id_ordering_groups_by_entity() {
+        let a = FieldId::new(EntityId(1), PropertyId(9));
+        let b = FieldId::new(EntityId(2), PropertyId(0));
+        assert!(a < b, "fields sort by entity first");
+        assert_eq!(format!("{a}"), "e1/p9");
+    }
+
+    #[test]
+    fn ids_are_copy_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(FieldId::new(EntityId(0), PropertyId(0)));
+        set.insert(FieldId::new(EntityId(0), PropertyId(0)));
+        assert_eq!(set.len(), 1);
+    }
+}

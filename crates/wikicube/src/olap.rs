@@ -1,0 +1,233 @@
+//! Exploration queries over the change cube.
+//!
+//! The change cube of Bleifuß et al. (PVLDB 2018) is an analysis
+//! structure, not just storage: "exploring change" means rolling the
+//! change set up along its dimensions. This module provides the rollups
+//! the `wikistale` tooling (and a curious analyst) needs: counts grouped
+//! by time bucket, template, property, page, or change kind, with
+//! range/kind filtering and top-k helpers.
+//!
+//! ```
+//! use wikistale_wikicube::{olap::CubeQuery, ChangeCubeBuilder, ChangeKind, Date};
+//!
+//! let mut b = ChangeCubeBuilder::new();
+//! let e = b.entity("London", "infobox settlement", "London");
+//! let p = b.property("population_est");
+//! b.change(Date::EPOCH, e, p, "8M", ChangeKind::Update);
+//! b.change(Date::EPOCH + 400, e, p, "9M", ChangeKind::Update);
+//! let cube = b.finish();
+//!
+//! let per_year = CubeQuery::new(&cube).counts_by_time_bucket(365);
+//! assert_eq!(per_year.len(), 2);
+//! ```
+
+use crate::change::ChangeKind;
+use crate::cube::ChangeCube;
+use crate::date::{Date, DateRange};
+use crate::fxhash::FxHashMap;
+use crate::ids::{PageId, PropertyId, TemplateId};
+
+/// A filtered view over a cube's changes, ready to roll up.
+#[derive(Clone, Copy)]
+pub struct CubeQuery<'a> {
+    cube: &'a ChangeCube,
+    range: Option<DateRange>,
+    kind: Option<ChangeKind>,
+}
+
+impl<'a> CubeQuery<'a> {
+    /// Query over all changes of `cube`.
+    pub fn new(cube: &'a ChangeCube) -> CubeQuery<'a> {
+        CubeQuery {
+            cube,
+            range: None,
+            kind: None,
+        }
+    }
+
+    /// Restrict to changes whose day lies in `range`.
+    pub fn in_range(mut self, range: DateRange) -> CubeQuery<'a> {
+        self.range = Some(range);
+        self
+    }
+
+    /// Restrict to one change kind.
+    pub fn of_kind(mut self, kind: ChangeKind) -> CubeQuery<'a> {
+        self.kind = Some(kind);
+        self
+    }
+
+    fn changes(&self) -> impl Iterator<Item = &'a crate::change::Change> + '_ {
+        let slice = match self.range {
+            Some(range) => self.cube.changes_in(range),
+            None => self.cube.changes(),
+        };
+        let kind = self.kind;
+        slice
+            .iter()
+            .filter(move |c| kind.is_none_or(|k| c.kind == k))
+    }
+
+    /// Number of changes matching the filters.
+    pub fn count(&self) -> usize {
+        self.changes().count()
+    }
+
+    /// Counts per `bucket_days`-sized time bucket. Buckets are anchored at
+    /// the first matching change; empty buckets are included so the result
+    /// is a dense series `(bucket start, count)`.
+    pub fn counts_by_time_bucket(&self, bucket_days: u32) -> Vec<(Date, u64)> {
+        assert!(bucket_days > 0, "bucket size must be positive");
+        let mut iter = self.changes().peekable();
+        let Some(first) = iter.peek() else {
+            return Vec::new();
+        };
+        let origin = first.day;
+        let mut counts: Vec<(Date, u64)> = Vec::new();
+        for c in iter {
+            let bucket = (c.day - origin) as u32 / bucket_days;
+            while counts.len() <= bucket as usize {
+                let start = origin + (counts.len() as u32 * bucket_days) as i32;
+                counts.push((start, 0));
+            }
+            counts[bucket as usize].1 += 1;
+        }
+        counts
+    }
+
+    /// Counts per template, unsorted.
+    pub fn counts_by_template(&self) -> FxHashMap<TemplateId, u64> {
+        let mut counts = FxHashMap::default();
+        for c in self.changes() {
+            *counts.entry(self.cube.template_of(c.entity)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Counts per property, unsorted.
+    pub fn counts_by_property(&self) -> FxHashMap<PropertyId, u64> {
+        let mut counts = FxHashMap::default();
+        for c in self.changes() {
+            *counts.entry(c.property).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Counts per page, unsorted.
+    pub fn counts_by_page(&self) -> FxHashMap<PageId, u64> {
+        let mut counts = FxHashMap::default();
+        for c in self.changes() {
+            *counts.entry(self.cube.page_of(c.entity)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Counts per change kind as `[creates, updates, deletes]`.
+    pub fn counts_by_kind(&self) -> [u64; 3] {
+        let mut counts = [0u64; 3];
+        for c in self.changes() {
+            counts[c.kind as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// The `k` highest-count entries of a rollup, ties broken by key for
+/// determinism.
+pub fn top_k<K: Copy + Ord>(counts: &FxHashMap<K, u64>, k: usize) -> Vec<(K, u64)> {
+    let mut entries: Vec<(K, u64)> = counts.iter().map(|(&key, &n)| (key, n)).collect();
+    entries.sort_unstable_by_key(|&(key, n)| (std::cmp::Reverse(n), key));
+    entries.truncate(k);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::ChangeCubeBuilder;
+
+    fn day(n: i32) -> Date {
+        Date::EPOCH + n
+    }
+
+    fn cube() -> ChangeCube {
+        let mut b = ChangeCubeBuilder::new();
+        let london = b.entity("London", "infobox settlement", "London");
+        let paris = b.entity("Paris", "infobox settlement", "Paris");
+        let ali = b.entity("Ali", "infobox boxer", "Muhammad Ali");
+        let pop = b.property("population");
+        let wins = b.property("wins");
+        b.change(day(0), london, pop, "1", ChangeKind::Create);
+        b.change(day(10), london, pop, "2", ChangeKind::Update);
+        b.change(day(40), paris, pop, "3", ChangeKind::Update);
+        b.change(day(70), ali, wins, "4", ChangeKind::Update);
+        b.change(day(71), ali, wins, "", ChangeKind::Delete);
+        b.finish()
+    }
+
+    #[test]
+    fn count_with_filters() {
+        let cube = cube();
+        assert_eq!(CubeQuery::new(&cube).count(), 5);
+        assert_eq!(CubeQuery::new(&cube).of_kind(ChangeKind::Update).count(), 3);
+        assert_eq!(
+            CubeQuery::new(&cube)
+                .in_range(DateRange::new(day(5), day(50)))
+                .count(),
+            2
+        );
+        assert_eq!(
+            CubeQuery::new(&cube)
+                .in_range(DateRange::new(day(5), day(50)))
+                .of_kind(ChangeKind::Delete)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn time_buckets_are_dense() {
+        let cube = cube();
+        let buckets = CubeQuery::new(&cube).counts_by_time_bucket(30);
+        // Days 0,10 → bucket 0; 40 → bucket 1; 70,71 → bucket 2.
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], (day(0), 2));
+        assert_eq!(buckets[1], (day(30), 1));
+        assert_eq!(buckets[2], (day(60), 2));
+        // Empty cube → empty series.
+        let empty = ChangeCubeBuilder::new().finish();
+        assert!(CubeQuery::new(&empty).counts_by_time_bucket(7).is_empty());
+    }
+
+    #[test]
+    fn rollups_by_dimension() {
+        let cube = cube();
+        let q = CubeQuery::new(&cube);
+        let by_template = q.counts_by_template();
+        let settlement = cube.template_id("infobox settlement").unwrap();
+        let boxer = cube.template_id("infobox boxer").unwrap();
+        assert_eq!(by_template[&settlement], 3);
+        assert_eq!(by_template[&boxer], 2);
+
+        let by_property = q.counts_by_property();
+        assert_eq!(by_property[&cube.property_id("population").unwrap()], 3);
+
+        let by_page = q.counts_by_page();
+        assert_eq!(by_page[&cube.page_id("London").unwrap()], 2);
+
+        assert_eq!(q.counts_by_kind(), [1, 3, 1]);
+    }
+
+    #[test]
+    fn top_k_is_deterministic() {
+        let cube = cube();
+        let by_template = CubeQuery::new(&cube).counts_by_template();
+        let top = top_k(&by_template, 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(cube.template_name(top[0].0), "infobox settlement");
+        // k larger than the universe returns everything, ordered.
+        let all = top_k(&by_template, 10);
+        assert_eq!(all.len(), 2);
+        assert!(all[0].1 >= all[1].1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Cube composition: time slicing and merging.
+//!
+//! Real deployments ingest Wikipedia dumps incrementally (one stub-history
+//! part at a time) and retrain on rolling windows; these operations build
+//! the cubes for that: [`slice()`] restricts a cube to a day range, and
+//! [`merge`] combines cubes whose dimension tables were interned
+//! independently (entities are unified by name, with their template and
+//! page memberships checked for consistency).
+
+use crate::change::Change;
+use crate::cube::{ChangeCube, ChangeCubeBuilder};
+use crate::date::DateRange;
+use crate::error::CubeError;
+
+/// A new cube containing only the changes whose day falls in `range`.
+/// Dimension tables are re-interned, so entities and values that only
+/// occur outside the range do not leak into the slice.
+pub fn slice(cube: &ChangeCube, range: DateRange) -> ChangeCube {
+    let mut builder = ChangeCubeBuilder::new();
+    copy_changes(&mut builder, cube, cube.changes_in(range));
+    builder.finish()
+}
+
+/// Merge any number of cubes into one.
+///
+/// Entities are unified by name; a name appearing in several cubes must
+/// agree on its template and page, otherwise the merge fails with
+/// [`CubeError::Corrupt`]. Changes are concatenated and re-sorted; exact
+/// duplicate tuples (same day, field, value, kind — e.g. from overlapping
+/// dump parts) are collapsed.
+pub fn merge<'a>(cubes: impl IntoIterator<Item = &'a ChangeCube>) -> Result<ChangeCube, CubeError> {
+    let mut builder = ChangeCubeBuilder::new();
+    for cube in cubes {
+        // `ChangeCubeBuilder::entity` panics on conflicting registration;
+        // catchable consistency checking is friendlier for merge inputs.
+        for c in cube.changes() {
+            let name = cube.entity_name(c.entity);
+            let template = cube.template_name(cube.template_of(c.entity));
+            let page = cube.page_title(cube.page_of(c.entity));
+            if let Some(existing) = builder_entity_conflict(&builder, name, template, page) {
+                return Err(CubeError::Corrupt(format!(
+                    "entity {name:?} is {existing} in one cube but ({template}, {page}) in another"
+                )));
+            }
+            let entity = builder.entity(name, template, page);
+            let property = builder.property(cube.property_name(c.property));
+            builder.change_full(
+                c.day,
+                entity,
+                property,
+                cube.value_text(c.value),
+                c.kind,
+                c.flags,
+            );
+        }
+    }
+    let cube = builder.finish();
+    // Collapse exact duplicates from overlapping inputs. Duplicates share
+    // a canonical sort key but may be interleaved with same-slot changes
+    // of different values, so deduplicate within each equal-key run.
+    let changes = cube.changes();
+    let mut deduped: Vec<Change> = Vec::with_capacity(changes.len());
+    let mut i = 0usize;
+    while i < changes.len() {
+        let key = changes[i].sort_key();
+        let run_kept_start = deduped.len();
+        while i < changes.len() && changes[i].sort_key() == key {
+            let c = changes[i];
+            let dup = deduped[run_kept_start..]
+                .iter()
+                .any(|p| p.value == c.value && p.kind == c.kind && p.flags == c.flags);
+            if !dup {
+                deduped.push(c);
+            }
+            i += 1;
+        }
+    }
+    cube.with_changes(deduped)
+}
+
+fn builder_entity_conflict(
+    builder: &ChangeCubeBuilder,
+    name: &str,
+    template: &str,
+    page: &str,
+) -> Option<String> {
+    let (t, p) = builder.entity_membership(name)?;
+    if t != template || p != page {
+        Some(format!("({t}, {p})"))
+    } else {
+        None
+    }
+}
+
+fn copy_changes(builder: &mut ChangeCubeBuilder, source: &ChangeCube, changes: &[Change]) {
+    for c in changes {
+        let entity = builder.entity(
+            source.entity_name(c.entity),
+            source.template_name(source.template_of(c.entity)),
+            source.page_title(source.page_of(c.entity)),
+        );
+        let property = builder.property(source.property_name(c.property));
+        builder.change_full(
+            c.day,
+            entity,
+            property,
+            source.value_text(c.value),
+            c.kind,
+            c.flags,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::change::ChangeKind;
+    use crate::date::Date;
+
+    fn day(n: i32) -> Date {
+        Date::EPOCH + n
+    }
+
+    fn cube_a() -> ChangeCube {
+        let mut b = ChangeCubeBuilder::new();
+        let e = b.entity("Ali", "infobox boxer", "Muhammad Ali");
+        let p = b.property("wins");
+        for d in [1, 10, 20] {
+            b.change(day(d), e, p, &format!("v{d}"), ChangeKind::Update);
+        }
+        b.finish()
+    }
+
+    fn cube_b() -> ChangeCube {
+        let mut b = ChangeCubeBuilder::new();
+        // Note: different interner numbering (property first).
+        let p = b.property("population_est");
+        let wins = b.property("wins");
+        let london = b.entity("London", "infobox settlement", "London");
+        let ali = b.entity("Ali", "infobox boxer", "Muhammad Ali");
+        b.change(day(5), london, p, "9M", ChangeKind::Update);
+        b.change(day(30), ali, wins, "v30", ChangeKind::Update);
+        b.finish()
+    }
+
+    #[test]
+    fn slice_restricts_and_reinterns() {
+        let cube = cube_a();
+        let sliced = slice(&cube, DateRange::new(day(5), day(15)));
+        assert_eq!(sliced.num_changes(), 1);
+        assert_eq!(sliced.changes()[0].day, day(10));
+        assert_eq!(sliced.value_text(sliced.changes()[0].value), "v10");
+        // Values outside the slice are not interned.
+        assert_eq!(sliced.num_values(), 1);
+        let empty = slice(&cube, DateRange::new(day(100), day(200)));
+        assert_eq!(empty.num_changes(), 0);
+    }
+
+    #[test]
+    fn merge_unifies_entities_across_interners() {
+        let merged = merge([&cube_a(), &cube_b()]).unwrap();
+        assert_eq!(merged.num_changes(), 5);
+        assert_eq!(merged.num_entities(), 2);
+        // Ali's history spans both inputs, in order.
+        let ali = merged.entity_id("Ali").unwrap();
+        let ali_days: Vec<i32> = merged
+            .changes()
+            .iter()
+            .filter(|c| c.entity == ali)
+            .map(|c| c.day - Date::EPOCH)
+            .collect();
+        assert_eq!(ali_days, vec![1, 10, 20, 30]);
+    }
+
+    #[test]
+    fn merge_collapses_exact_duplicates() {
+        let a = cube_a();
+        let merged = merge([&a, &a]).unwrap();
+        assert_eq!(merged.num_changes(), a.num_changes());
+    }
+
+    #[test]
+    fn merge_rejects_conflicting_membership() {
+        let mut b = ChangeCubeBuilder::new();
+        let e = b.entity("Ali", "infobox person", "Someone Else");
+        let p = b.property("wins");
+        b.change(day(2), e, p, "x", ChangeKind::Update);
+        let conflicting = b.finish();
+        let err = merge([&cube_a(), &conflicting]).unwrap_err();
+        assert!(matches!(err, CubeError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("Ali"));
+    }
+
+    #[test]
+    fn slice_then_merge_is_identity_on_partition() {
+        let cube = cube_a();
+        let left = slice(&cube, DateRange::new(day(0), day(15)));
+        let right = slice(&cube, DateRange::new(day(15), day(100)));
+        let merged = merge([&left, &right]).unwrap();
+        assert_eq!(merged.num_changes(), cube.num_changes());
+        for (a, b) in merged.changes().iter().zip(cube.changes()) {
+            assert_eq!(a.day, b.day);
+            assert_eq!(merged.value_text(a.value), cube.value_text(b.value));
+        }
+    }
+}

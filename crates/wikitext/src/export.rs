@@ -1,0 +1,154 @@
+//! The reverse of [`crate::diff`]: materialize a change cube back into
+//! page revision histories.
+//!
+//! For every page, the cube's changes are replayed in day order; each day
+//! with at least one change yields one revision whose text contains the
+//! page's infoboxes in their state at the end of that day. Feeding the
+//! result through [`crate::xml::render_export`] →
+//! [`crate::xml::parse_export`] → [`crate::diff::build_cube`] reproduces
+//! the day-deduplicated change history — the end-to-end correctness check
+//! for the whole ingestion pipeline.
+
+use crate::infobox::{render_infobox, Infobox};
+use crate::xml::{PageDump, Revision};
+use wikistale_wikicube::{ChangeCube, ChangeKind, EntityId, FxHashMap};
+
+/// Materialize revision histories for every page of `cube`.
+///
+/// Changes must already be day-deduplicated if a lossless round trip is
+/// desired: several same-day changes to one field collapse into one
+/// revision that only keeps the last value.
+pub fn cube_to_dump(cube: &ChangeCube) -> Vec<PageDump> {
+    // Group changes by page, preserving the cube's (day, entity,
+    // property) order.
+    let mut per_page: Vec<Vec<usize>> = vec![Vec::new(); cube.num_pages()];
+    for (i, c) in cube.changes().iter().enumerate() {
+        per_page[cube.page_of(c.entity).index()].push(i);
+    }
+
+    let mut pages = Vec::new();
+    for (page_idx, change_idxs) in per_page.into_iter().enumerate() {
+        if change_idxs.is_empty() {
+            continue;
+        }
+        let title = cube.page_title(wikistale_wikicube::PageId::from_index(page_idx));
+        // Entities of this page in first-seen order for stable rendering.
+        let mut entity_order: Vec<EntityId> = Vec::new();
+        // Live state: entity → ordered (property name, value) list.
+        let mut state: FxHashMap<EntityId, Vec<(String, String)>> = FxHashMap::default();
+        let mut revisions = Vec::new();
+
+        let mut i = 0;
+        while i < change_idxs.len() {
+            let day = cube.changes()[change_idxs[i]].day;
+            while i < change_idxs.len() && cube.changes()[change_idxs[i]].day == day {
+                let c = cube.changes()[change_idxs[i]];
+                if !entity_order.contains(&c.entity) {
+                    entity_order.push(c.entity);
+                }
+                let params = state.entry(c.entity).or_default();
+                let prop = cube.property_name(c.property).to_owned();
+                match c.kind {
+                    ChangeKind::Create | ChangeKind::Update => {
+                        let value = cube.value_text(c.value).to_owned();
+                        match params.iter_mut().find(|(k, _)| *k == prop) {
+                            Some(slot) => slot.1 = value,
+                            None => params.push((prop, value)),
+                        }
+                    }
+                    ChangeKind::Delete => {
+                        params.retain(|(k, _)| *k != prop);
+                    }
+                }
+                i += 1;
+            }
+            // One revision at the end of the day: all live infoboxes.
+            let mut text = String::new();
+            for &entity in &entity_order {
+                let params = &state[&entity];
+                if params.is_empty() {
+                    continue;
+                }
+                if !text.is_empty() {
+                    text.push_str("\n\n");
+                }
+                text.push_str(&render_infobox(&Infobox {
+                    template: cube.template_name(cube.template_of(entity)).to_owned(),
+                    params: params.clone(),
+                }));
+            }
+            revisions.push(Revision { date: day, text });
+        }
+        pages.push(PageDump {
+            title: title.to_owned(),
+            revisions,
+        });
+    }
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::build_cube;
+    use crate::xml::{parse_export, render_export};
+    use wikistale_wikicube::{ChangeCubeBuilder, Date};
+
+    fn day(n: i32) -> Date {
+        Date::EPOCH + n
+    }
+
+    fn sample_cube() -> ChangeCube {
+        let mut b = ChangeCubeBuilder::new();
+        let club = b.entity("FC § Infobox club", "Infobox club", "FC Example");
+        let ground = b.property("ground");
+        let capacity = b.property("capacity");
+        b.change(day(0), club, ground, "Old Arena", ChangeKind::Create);
+        b.change(day(0), club, capacity, "10,000", ChangeKind::Create);
+        b.change(day(30), club, ground, "New Arena", ChangeKind::Update);
+        b.change(day(60), club, capacity, "", ChangeKind::Delete);
+        b.finish()
+    }
+
+    #[test]
+    fn renders_one_revision_per_change_day() {
+        let pages = cube_to_dump(&sample_cube());
+        assert_eq!(pages.len(), 1);
+        assert_eq!(pages[0].revisions.len(), 3);
+        assert!(pages[0].revisions[0].text.contains("Old Arena"));
+        assert!(pages[0].revisions[1].text.contains("New Arena"));
+        assert!(!pages[0].revisions[2].text.contains("capacity"));
+    }
+
+    #[test]
+    fn full_round_trip_reproduces_changes() {
+        let cube = sample_cube();
+        let xml = render_export(&cube_to_dump(&cube));
+        let rebuilt = build_cube(&parse_export(&xml).unwrap());
+        assert_eq!(rebuilt.num_changes(), cube.num_changes());
+        for (a, b) in rebuilt.changes().iter().zip(cube.changes()) {
+            assert_eq!(a.day, b.day);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(
+                rebuilt.property_name(a.property),
+                cube.property_name(b.property)
+            );
+        }
+    }
+
+    #[test]
+    fn deleting_all_fields_removes_the_infobox() {
+        let mut b = ChangeCubeBuilder::new();
+        let e = b.entity("P § Infobox x", "Infobox x", "P");
+        let p = b.property("a");
+        b.change(day(0), e, p, "1", ChangeKind::Create);
+        b.change(day(1), e, p, "", ChangeKind::Delete);
+        let pages = cube_to_dump(&b.finish());
+        assert_eq!(pages[0].revisions[1].text, "");
+    }
+
+    #[test]
+    fn empty_cube_yields_no_pages() {
+        assert!(cube_to_dump(&ChangeCubeBuilder::new().finish()).is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Streaming access to large MediaWiki exports.
+//!
+//! Full-history dumps of the English Wikipedia run to terabytes; loading
+//! them into one string is not an option. [`PageStream`] reads a dump
+//! incrementally from any [`BufRead`], yielding one parsed [`PageDump`] at
+//! a time with memory bounded by the largest single page element.
+//!
+//! ```no_run
+//! use std::io::BufReader;
+//! use wikistale_wikitext::stream::PageStream;
+//!
+//! let file = std::fs::File::open("pages-meta-history.xml").unwrap();
+//! for page in PageStream::new(BufReader::new(file)) {
+//!     let page = page.unwrap();
+//!     println!("{}: {} revisions", page.title, page.revisions.len());
+//! }
+//! ```
+
+use crate::xml::{parse_export, PageDump, XmlError};
+use std::io::BufRead;
+
+/// Errors from streaming: either transport or markup.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A page element could not be parsed.
+    Xml(XmlError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "i/o error: {e}"),
+            StreamError::Xml(e) => write!(f, "xml error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// An iterator of pages read incrementally from a dump.
+pub struct PageStream<R: BufRead> {
+    reader: R,
+    buffer: String,
+    done: bool,
+}
+
+impl<R: BufRead> PageStream<R> {
+    /// Stream pages from `reader`.
+    pub fn new(reader: R) -> PageStream<R> {
+        PageStream {
+            reader,
+            buffer: String::new(),
+            done: false,
+        }
+    }
+
+    /// Read lines until the buffer holds at least one complete
+    /// `<page>…</page>` element; returns the element's body (including its
+    /// tags) or `None` at end of input.
+    fn next_page_text(&mut self) -> Result<Option<String>, StreamError> {
+        loop {
+            if let Some(start) = self.buffer.find("<page") {
+                if let Some(end_rel) = self.buffer[start..].find("</page>") {
+                    let end = start + end_rel + "</page>".len();
+                    let page_text = self.buffer[start..end].to_owned();
+                    self.buffer.drain(..end);
+                    return Ok(Some(page_text));
+                }
+            } else {
+                // No page start in the buffer: only keep a tail that could
+                // hold a split "<page" token, discard the rest.
+                let keep_from = self.buffer.len().saturating_sub(8);
+                self.buffer.drain(..keep_from);
+            }
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line).map_err(StreamError::Io)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.buffer.push_str(&line);
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for PageStream<R> {
+    type Item = Result<PageDump, StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_page_text() {
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Ok(Some(text)) => match parse_export(&text) {
+                Ok(mut pages) if pages.len() == 1 => Some(Ok(pages.remove(0))),
+                Ok(_) => {
+                    self.done = true;
+                    Some(Err(StreamError::Xml(XmlError::UnclosedElement("page"))))
+                }
+                Err(e) => {
+                    self.done = true;
+                    Some(Err(StreamError::Xml(e)))
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::render_export;
+    use crate::xml::Revision;
+    use std::io::BufReader;
+    use wikistale_wikicube::Date;
+
+    fn dump(n_pages: usize) -> String {
+        let pages: Vec<PageDump> = (0..n_pages)
+            .map(|i| PageDump {
+                title: format!("Page {i}"),
+                revisions: vec![Revision {
+                    date: Date::EPOCH + i as i32,
+                    text: format!("{{{{Infobox x | field = {i}}}}}"),
+                }],
+            })
+            .collect();
+        render_export(&pages)
+    }
+
+    #[test]
+    fn streams_every_page_in_order() {
+        let xml = dump(25);
+        let pages: Result<Vec<PageDump>, _> =
+            PageStream::new(BufReader::new(xml.as_bytes())).collect();
+        let pages = pages.unwrap();
+        assert_eq!(pages.len(), 25);
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(p.title, format!("Page {i}"));
+            assert_eq!(p.revisions.len(), 1);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_parsing() {
+        let xml = dump(7);
+        let batch = crate::xml::parse_export(&xml).unwrap();
+        let streamed: Vec<PageDump> = PageStream::new(BufReader::new(xml.as_bytes()))
+            .map(|p| p.unwrap())
+            .collect();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn tiny_read_chunks_still_work() {
+        // A 1-byte BufReader capacity forces the tail-keeping logic.
+        let xml = dump(3);
+        let reader = BufReader::with_capacity(1, xml.as_bytes());
+        let pages: Vec<PageDump> = PageStream::new(reader).map(|p| p.unwrap()).collect();
+        assert_eq!(pages.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_pageless_inputs() {
+        assert_eq!(PageStream::new(BufReader::new(&b""[..])).count(), 0);
+        let no_pages = b"<mediawiki></mediawiki>";
+        assert_eq!(PageStream::new(BufReader::new(&no_pages[..])).count(), 0);
+    }
+
+    #[test]
+    fn malformed_page_surfaces_an_error() {
+        let bad = "<page><revision><timestamp>2019-01-01T00:00:00Z</timestamp></revision></page>";
+        let results: Vec<_> = PageStream::new(BufReader::new(bad.as_bytes())).collect();
+        assert_eq!(results.len(), 1);
+        assert!(matches!(
+            results[0],
+            Err(StreamError::Xml(XmlError::MissingTitle))
+        ));
+    }
+
+    #[test]
+    fn stops_after_error() {
+        let bad = "<page><revision></revision></page><page><title>T</title></page>";
+        let mut stream = PageStream::new(BufReader::new(bad.as_bytes()));
+        assert!(stream.next().unwrap().is_err());
+        assert!(stream.next().is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Ingest a MediaWiki XML export into a change cube and inspect the
+//! resulting change history — the real-data entry point of the system.
+//!
+//! The embedded dump is a miniature of what `dumps.wikimedia.org` serves:
+//! two pages, several revisions each, one infobox per page. The example
+//! parses it, diffs the revisions into change-cube tuples, runs the §4
+//! filter pipeline, and prints the per-field histories.
+//!
+//! ```sh
+//! cargo run --example dump_ingest
+//! ```
+
+use wikistale_core::filters::FilterPipeline;
+use wikistale_wikitext::{build_cube, parse_export};
+
+const DUMP: &str = r#"<mediawiki xmlns="http://www.mediawiki.org/xml/export-0.11/">
+  <page>
+    <title>Premier League</title>
+    <revision>
+      <timestamp>2018-05-13T17:00:00Z</timestamp>
+      <text xml:space="preserve">{{Infobox football league
+| current_champions = Manchester City
+| matches = 380
+| goals = 1018
+}}</text>
+    </revision>
+    <revision>
+      <timestamp>2019-05-12T18:00:00Z</timestamp>
+      <text xml:space="preserve">{{Infobox football league
+| current_champions = Manchester City
+| matches = 380
+| goals = 1072
+}}</text>
+    </revision>
+    <revision>
+      <timestamp>2019-05-12T21:00:00Z</timestamp>
+      <text xml:space="preserve">{{Infobox football league
+| current_champions = Manchester City
+| matches = 380
+| goals = 1071
+}}</text>
+    </revision>
+  </page>
+  <page>
+    <title>London</title>
+    <revision>
+      <timestamp>2018-01-01T00:00:00Z</timestamp>
+      <text xml:space="preserve">{{Infobox settlement
+| population_est = 8,825,001
+| pop_est_as_of = 2017
+| mayor = [[Sadiq Khan]]
+}}</text>
+    </revision>
+    <revision>
+      <timestamp>2019-03-02T08:00:00Z</timestamp>
+      <text xml:space="preserve">{{Infobox settlement
+| population_est = 8,961,989
+| pop_est_as_of = mid-2018
+| mayor = [[Sadiq Khan]]
+}}</text>
+    </revision>
+  </page>
+</mediawiki>"#;
+
+fn main() {
+    let pages = parse_export(DUMP).expect("well-formed export");
+    println!("parsed {} pages", pages.len());
+    for page in &pages {
+        println!("  {:<16} {} revisions", page.title, page.revisions.len());
+    }
+
+    let cube = build_cube(&pages);
+    println!(
+        "\ndiffed into {} changes across {} infobox fields:",
+        cube.num_changes(),
+        cube.num_properties()
+    );
+    for c in cube.changes() {
+        println!(
+            "  {} {:<7} {:<30} {:<16} = {}",
+            c.day,
+            c.kind.to_string(),
+            cube.entity_name(c.entity),
+            cube.property_name(c.property),
+            cube.value_text(c.value)
+        );
+    }
+
+    // The same-day goal correction (1072 → 1071) collapses under the §4
+    // day-deduplication filter; creations are dropped too.
+    let (filtered, _) = FilterPipeline {
+        min_changes: None, // keep sparse fields: this is a tiny demo corpus
+        ..FilterPipeline::paper()
+    }
+    .apply(&cube);
+    println!(
+        "\nafter filtering, {} update changes remain:",
+        filtered.num_changes()
+    );
+    for c in filtered.changes() {
+        println!(
+            "  {} {:<30} {:<16} = {}",
+            c.day,
+            filtered.entity_name(c.entity),
+            filtered.property_name(c.property),
+            filtered.value_text(c.value)
+        );
+    }
+
+    // The population co-change the paper's Figure 2 shows as a mined rule
+    // (population_est with pop_est_as_of, infobox settlement) is visible
+    // in this history: both changed on the same 2019-03-02 revision.
+    let both_changed_together = filtered
+        .changes()
+        .iter()
+        .filter(|c| c.day.to_string() == "2019-03-02")
+        .count();
+    assert_eq!(both_changed_together, 2);
+    println!("\npopulation_est and pop_est_as_of changed together — the Figure 2 rule pattern.");
+}

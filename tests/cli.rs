@@ -1,0 +1,162 @@
+//! Black-box tests of the `wikistale` binary: every subcommand exercised
+//! through a real process, end to end on a tiny corpus.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn wikistale(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wikistale"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wikistale-it-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn help_is_printed_without_arguments() {
+    let out = wikistale(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = wikistale(&["explode"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn generate_stats_filter_evaluate_monitor() {
+    let dir = tmpdir("pipeline");
+    let raw = dir.join("raw.wcube");
+    let filtered = dir.join("filtered.wcube");
+    let raw_s = raw.to_str().unwrap();
+    let filtered_s = filtered.to_str().unwrap();
+
+    let out = wikistale(&["generate", "--preset", "tiny", "--out", raw_s]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("generated"));
+    assert!(raw.exists());
+
+    let out = wikistale(&["stats", "--in", raw_s]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("creates"));
+    assert!(text.contains("same-day dups"));
+
+    let out = wikistale(&["filter", "--in", raw_s, "--out", filtered_s]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("bot-reverted"));
+    assert!(text.contains("surviving"));
+    assert!(filtered.exists());
+
+    let out = wikistale(&["evaluate", "--in", filtered_s, "--vs-paper"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("OR-ensemble"));
+    assert!(text.contains("paper"));
+    assert!(text.contains("89.69")); // the paper's headline number column
+
+    let out = wikistale(&[
+        "monitor",
+        "--in",
+        filtered_s,
+        "--at",
+        "2019-06-03",
+        "--window",
+        "7",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("stale-candidate banners"));
+
+    let figs = dir.join("figs");
+    let out = wikistale(&[
+        "figures",
+        "--in",
+        filtered_s,
+        "--out-dir",
+        figs.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(figs.join("figure3.svg").exists());
+    assert!(figs.join("figure4.svg").exists());
+    let svg = std::fs::read_to_string(figs.join("figure4.svg")).unwrap();
+    assert!(svg.starts_with("<svg"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_parses_a_dump() {
+    let dir = tmpdir("ingest");
+    let xml = dir.join("dump.xml");
+    let cube = dir.join("dump.wcube");
+    std::fs::write(
+        &xml,
+        r#"<mediawiki>
+  <page><title>London</title>
+    <revision><timestamp>2018-01-01T00:00:00Z</timestamp>
+      <text>{{Infobox settlement | population = 8}}</text></revision>
+    <revision><timestamp>2019-01-01T00:00:00Z</timestamp>
+      <text>{{Infobox settlement | population = 9}}</text></revision>
+  </page>
+</mediawiki>"#,
+    )
+    .unwrap();
+    let out = wikistale(&[
+        "ingest",
+        "--xml",
+        xml.to_str().unwrap(),
+        "--out",
+        cube.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("ingested 1 pages"));
+    assert!(cube.exists());
+
+    let out = wikistale(&["stats", "--in", cube.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("changes        2"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn evaluate_refuses_short_corpora() {
+    let dir = tmpdir("short");
+    let xml = dir.join("dump.xml");
+    let cube = dir.join("dump.wcube");
+    std::fs::write(
+        &xml,
+        r#"<mediawiki><page><title>P</title>
+      <revision><timestamp>2019-01-01T00:00:00Z</timestamp>
+        <text>{{Infobox x | a = 1}}</text></revision>
+    </page></mediawiki>"#,
+    )
+    .unwrap();
+    wikistale(&[
+        "ingest",
+        "--xml",
+        xml.to_str().unwrap(),
+        "--out",
+        cube.to_str().unwrap(),
+    ]);
+    let out = wikistale(&["evaluate", "--in", cube.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("two years"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,171 @@
+//! Story test: a fully scripted corpus (no randomness at all) driven
+//! through the complete product surface — detector training, weekly
+//! flagging with explanations, and counter-anomaly detection. Every
+//! expected behaviour of the paper's system is pinned to a hand-placed
+//! change.
+
+use wikistale_core::detector::{DetectorConfig, StalenessDetector};
+use wikistale_core::predictors::SeasonalParams;
+use wikistale_core::{find_counter_anomalies, AnomalyKind, AnomalyParams, Reason};
+use wikistale_synth::Scenario;
+use wikistale_wikicube::{CubeIndex, Date, DateRange, FieldId};
+
+fn d(n: i32) -> Date {
+    Date::EPOCH + n
+}
+
+/// Twelve years of history for one little wiki:
+/// * an FC-style kit-color cluster on one club page (forgotten once in the
+///   monitored year),
+/// * an AR-style ko ⇒ wins rule across eight boxer pages (driver forgotten
+///   once in the monitored year),
+/// * an annually recurring field (seasonal predictor territory),
+/// * a counter with the §5.4 typo.
+fn build() -> wikistale_synth::SynthCorpus {
+    let mut s = Scenario::new();
+    let years: i32 = 12;
+
+    // Cluster: home/away colors co-update twice a year.
+    let club = s.entity("FC Example", "infobox club", "FC Example");
+    let mut cluster_days = Vec::new();
+    for y in 0..years {
+        cluster_days.push(d(y * 365 + 40));
+        cluster_days.push(d(y * 365 + 220));
+    }
+    s.co_updates(club, &["home_color", "away_color"], &cluster_days);
+    // In the monitored year the away color is forgotten once.
+    let forgotten_cluster_day = d(years * 365 + 40);
+    s.update(club, "home_color", forgotten_cluster_day);
+    s.forget(club, "away_color", forgotten_cluster_day);
+
+    // Rule: every ko is accompanied by a wins change; wins also changes
+    // alone. Eight boxers give the template-level rule its support.
+    for b in 0..8 {
+        let boxer = s.entity(
+            &format!("Boxer {b}"),
+            "infobox boxer",
+            &format!("Boxer {b}"),
+        );
+        for y in 0..years {
+            for fight in 0..6 {
+                let day = d(y * 365 + fight * 55 + b);
+                s.update(boxer, "wins", day);
+                if fight % 2 == 0 {
+                    s.update(boxer, "ko", day);
+                }
+            }
+        }
+    }
+    // Monitored year: boxer 0's ko fires but wins is forgotten.
+    let boxer0 = s.entity("Boxer 0", "infobox boxer", "Boxer 0");
+    let forgotten_rule_day = d(years * 365 + 110);
+    s.update(boxer0, "ko", forgotten_rule_day);
+    s.forget(boxer0, "wins", forgotten_rule_day);
+
+    // Annual recurrence: an awards field changing every year on day 300,
+    // five changes per burst so the min-5 filter keeps it.
+    let awards = s.entity("Awards", "infobox award", "Awards Page");
+    for y in 0..years {
+        for k in 0..5 {
+            s.update(awards, "latest_winner", d(y * 365 + 300 + k));
+        }
+    }
+
+    // Counter with the typo: grows by 380, collapses, recovers.
+    let league = s.entity("League", "infobox league season", "League Page");
+    let mut total = 6_000i64;
+    for step in 0..12 {
+        total += 380;
+        let display = if (5..11).contains(&step) {
+            total - 5_000 // the typo'd running value
+        } else {
+            total
+        };
+        s.update_with_value(league, "total_goals", d(step * 30), &display.to_string());
+    }
+
+    s.finish()
+}
+
+#[test]
+fn scripted_story_end_to_end() {
+    let corpus = build();
+    let years = 12;
+    let cutoff = d(years * 365);
+    let detector = StalenessDetector::train_until(
+        &corpus.cube,
+        cutoff,
+        &DetectorConfig {
+            seasonal: Some(SeasonalParams::default()),
+            ..DetectorConfig::default()
+        },
+    )
+    .expect("trains");
+
+    // Both hand-planted rules must exist.
+    assert!(detector.predictors().field_corr.num_rules() >= 1);
+    assert!(detector
+        .predictors()
+        .assoc
+        .rules()
+        .iter()
+        .any(|r| corpus.cube.property_name(r.lhs) == "ko"
+            && corpus.cube.property_name(r.rhs) == "wins"));
+
+    // Week containing the forgotten away-color update.
+    let flags = detector.flag(DateRange::new(d(years * 365 + 38), d(years * 365 + 45)));
+    let away = flags
+        .iter()
+        .find(|f| {
+            detector
+                .data()
+                .cube
+                .property_name(f.field.property)
+                .contains("away_color")
+        })
+        .expect("away color flagged");
+    assert!(matches!(
+        away.reasons[0],
+        Reason::CorrelatedPartnerChanged { .. }
+    ));
+    assert!(corpus
+        .ground_truth
+        .was_stale_in(away.field, away.window.start(), away.window.end()));
+
+    // Week containing the forgotten wins update.
+    let flags = detector.flag(DateRange::new(d(years * 365 + 108), d(years * 365 + 115)));
+    let wins = flags
+        .iter()
+        .find(|f| detector.data().cube.property_name(f.field.property) == "wins")
+        .expect("wins flagged via the ko ⇒ wins rule");
+    assert!(wins
+        .reasons
+        .iter()
+        .any(|r| matches!(r, Reason::RuleFired { confidence, .. } if *confidence > 0.9)));
+
+    // Week of the annual awards burst: seasonal recurrence fires even
+    // though the field has no partner and no rule.
+    let flags = detector.flag(DateRange::new(d(years * 365 + 298), d(years * 365 + 305)));
+    let awards = flags
+        .iter()
+        .find(|f| detector.data().cube.property_name(f.field.property) == "latest_winner")
+        .expect("annual field flagged");
+    assert!(matches!(
+        awards.reasons[0],
+        Reason::AnnualRecurrence { hits, observable } if hits >= 10 && observable >= 10
+    ));
+
+    // The typo'd counter is caught.
+    let index = CubeIndex::build(&corpus.cube);
+    let anomalies = find_counter_anomalies(&corpus.cube, &index, &AnomalyParams::default());
+    let league_goals = FieldId::new(
+        corpus.cube.entity_id("League").unwrap(),
+        corpus.cube.property_id("total_goals").unwrap(),
+    );
+    assert!(anomalies
+        .iter()
+        .any(|a| a.field == league_goals && a.kind == AnomalyKind::Collapse));
+    assert!(anomalies
+        .iter()
+        .any(|a| a.field == league_goals && a.kind == AnomalyKind::Correction));
+}
