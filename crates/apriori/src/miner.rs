@@ -50,6 +50,8 @@ pub fn frequent_itemsets(
     min_support: Support,
     max_len: usize,
 ) -> Vec<FrequentItemset> {
+    let obs = wikistale_obs::MetricsRegistry::global();
+    let _span = obs.span("apriori_mine");
     let min_count = min_support.to_count(ts.len());
     let mut result: Vec<FrequentItemset> = Vec::new();
     if max_len == 0 || ts.is_empty() {
@@ -82,12 +84,16 @@ pub fn frequent_itemsets(
             break;
         }
         let candidates = generate_candidates(&level);
+        obs.counter("apriori/candidates")
+            .add(candidates.len() as u64);
         if candidates.is_empty() {
             break;
         }
         level = count_candidates(ts, candidates, k, min_count);
     }
     result.sort_by(|a, b| a.items.cmp(&b.items));
+    obs.counter("apriori/frequent_itemsets")
+        .add(result.len() as u64);
     result
 }
 

@@ -82,5 +82,11 @@ fn main() {
             below_target,
             rows.len().min(20)
         );
+
+        println!("\npipeline stage breakdown (wikistale-obs registry):");
+        print!(
+            "{}",
+            wikistale_obs::MetricsRegistry::global().render_table()
+        );
     });
 }

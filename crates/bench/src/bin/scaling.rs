@@ -57,4 +57,13 @@ fn main() {
         "\nextrapolation: 25 M filtered changes (the paper's corpus) at the 1.00x \
          eval rate ≈ shown ns/change × 25e6; the paper needed ~6 h on 2011 hardware."
     );
+
+    // Accumulated across all four scale factors, so each stage's min/max
+    // bracket the smallest and largest corpus (a quick read on how each
+    // stage scales) and count shows how often it ran.
+    println!("\npipeline stage breakdown, all scales pooled (wikistale-obs registry):");
+    print!(
+        "{}",
+        wikistale_obs::MetricsRegistry::global().render_table()
+    );
 }

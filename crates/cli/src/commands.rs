@@ -3,7 +3,9 @@
 use crate::args::Args;
 use std::path::Path;
 use wikistale_apriori::Support;
-use wikistale_core::experiment::{run_paper_evaluation, ExperimentConfig};
+use wikistale_core::experiment::{
+    run_paper_evaluation, run_paper_evaluation_serial, ExperimentConfig,
+};
 use wikistale_core::filters::FilterPipeline;
 use wikistale_core::predictors::DistanceNorm;
 use wikistale_core::report;
@@ -28,6 +30,18 @@ USAGE:
   wikistale anomalies --in <cube> [--limit N]
   wikistale top      --in <cube> --by template|property|page [--k N] [--kind create|update|delete]
   wikistale figures  --in <filtered-cube> --out-dir <dir>
+  wikistale experiment [--preset tiny|small|medium] [--seed N] [--scale F]
+                     [--no-min-changes] [--vs-paper] [--theta F]
+                     [--support F] [--confidence F] [--day-count-norm]
+
+Every subcommand additionally accepts:
+  --metrics <path>            write a pipeline-stage metrics report
+                              (use `-` for stdout)
+  --metrics-format json|table report format (default json)
+
+`experiment` runs the whole pipeline — generate, filter, train, predict,
+evaluate — serially in one process, so the metrics stage tree nests and
+its top-level stage times sum to the wall time.
 
 Cube files use the versioned wikicube binary format (.wcube).
 ";
@@ -35,7 +49,10 @@ Cube files use the versioned wikicube binary format (.wcube).
 /// Dispatch `argv`; returns an error message for the user on failure.
 pub fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv);
-    match args.positional(0) {
+    // Each invocation reports its own pipeline run (tests call `run`
+    // several times per process).
+    wikistale_obs::MetricsRegistry::global().reset();
+    let result = match args.positional(0) {
         None | Some("help") => {
             print!("{USAGE}");
             Ok(())
@@ -45,6 +62,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("stats") => cmd_stats(&args),
         Some("filter") => cmd_filter(&args),
         Some("evaluate") => cmd_evaluate(&args),
+        Some("experiment") => cmd_experiment(&args),
         Some("monitor") => cmd_monitor(&args),
         Some("export") => cmd_export(&args),
         Some("slice") => cmd_slice(&args),
@@ -53,16 +71,48 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("top") => cmd_top(&args),
         Some("figures") => cmd_figures(&args),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    if result.is_ok() {
+        write_metrics(&args)?;
     }
+    result
 }
 
 fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), String> {
-    let unknown = args.unknown_flags(known);
+    // The metrics flags are accepted by every subcommand.
+    let mut known: Vec<&str> = known.to_vec();
+    known.extend(["metrics", "metrics-format"]);
+    let unknown = args.unknown_flags(&known);
     if unknown.is_empty() {
         Ok(())
     } else {
         Err(format!("unknown flag(s): --{}", unknown.join(", --")))
     }
+}
+
+/// Honor `--metrics <path>` / `--metrics-format {json,table}` after a
+/// successful command: render the global registry and write it out
+/// (`-` or an empty value prints to stdout).
+fn write_metrics(args: &Args) -> Result<(), String> {
+    let Some(path) = args.get("metrics") else {
+        if args.has("metrics-format") {
+            return Err("--metrics-format needs --metrics".into());
+        }
+        return Ok(());
+    };
+    let registry = wikistale_obs::MetricsRegistry::global();
+    let rendered = match args.get("metrics-format").unwrap_or("json") {
+        "json" => registry.render_json(),
+        "table" => registry.render_table(),
+        other => return Err(format!("unknown metrics format {other:?} (json|table)")),
+    };
+    if path.is_empty() || path == "-" {
+        print!("{rendered}");
+    } else {
+        std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote metrics → {path}");
+    }
+    Ok(())
 }
 
 fn load_cube(path: &str) -> Result<ChangeCube, String> {
@@ -73,8 +123,7 @@ fn save_cube(cube: &ChangeCube, path: &str) -> Result<(), String> {
     binio::write_to_path(cube, Path::new(path)).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
-    reject_unknown(args, &["preset", "seed", "scale", "out"])?;
+fn synth_config(args: &Args) -> Result<SynthConfig, String> {
     let mut config = match args.get("preset").unwrap_or("small") {
         "tiny" => SynthConfig::tiny(),
         "small" => SynthConfig::small(),
@@ -90,6 +139,12 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         }
         config = config.scaled(scale);
     }
+    Ok(config)
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["preset", "seed", "scale", "out"])?;
+    let config = synth_config(args)?;
     let out = args.require("out")?;
     let corpus = wikistale_synth::try_generate(&config)?;
     save_cube(&corpus.cube, out)?;
@@ -251,6 +306,52 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     }
     println!("{}", report::render_overlap(&results));
     println!("{}", report::render_figure3(&results));
+    Ok(())
+}
+
+fn cmd_experiment(args: &Args) -> Result<(), String> {
+    reject_unknown(
+        args,
+        &[
+            "preset",
+            "seed",
+            "scale",
+            "no-min-changes",
+            "vs-paper",
+            "theta",
+            "support",
+            "confidence",
+            "day-count-norm",
+        ],
+    )?;
+    let config = synth_config(args)?;
+    let wall = std::time::Instant::now();
+    let corpus = wikistale_synth::try_generate(&config)?;
+    let pipeline = if args.has("no-min-changes") {
+        FilterPipeline::without_min_changes()
+    } else {
+        FilterPipeline::paper()
+    };
+    let (filtered, _report) = pipeline.apply(&corpus.cube);
+    let span = filtered
+        .time_span()
+        .ok_or("filtered cube is empty — nothing to evaluate")?;
+    let split = EvalSplit::for_span(span)
+        .ok_or("corpus spans less than the two years needed for validation + test")?;
+    let exp_config = experiment_config(args)?;
+    // Serial on purpose: the metrics stage tree then nests under one
+    // thread and its top-level stage times sum to the wall time.
+    let results = run_paper_evaluation_serial(&filtered, &split, &exp_config);
+    // Reference point for the stage breakdown: generate → evaluate,
+    // excluding report rendering below.
+    wikistale_obs::MetricsRegistry::global()
+        .gauge_set("experiment/wall_ms", wall.elapsed().as_secs_f64() * 1e3);
+    if args.has("vs-paper") {
+        println!("{}", report::render_table1_vs_paper(&results));
+    } else {
+        println!("{}", report::render_table1(&results));
+    }
+    println!("{}", report::render_overlap(&results));
     Ok(())
 }
 

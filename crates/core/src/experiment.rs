@@ -109,13 +109,35 @@ impl TrainedPredictors {
         range: DateRange,
         config: &ExperimentConfig,
     ) -> TrainedPredictors {
-        TrainedPredictors {
-            field_corr: FieldCorrelation::train(data, range, config.field_corr.clone()),
-            assoc: AssociationRulePredictor::train(data, range, config.assoc.clone()),
-            mean: MeanBaseline::train(data, range),
-            threshold: ThresholdBaseline {
+        let obs = wikistale_obs::MetricsRegistry::global();
+        let _span = obs.span("train");
+        let field_corr = {
+            let _s = obs.span("field_corr");
+            FieldCorrelation::train(data, range, config.field_corr.clone())
+        };
+        let assoc = {
+            let _s = obs.span("assoc");
+            AssociationRulePredictor::train(data, range, config.assoc.clone())
+        };
+        let mean = {
+            let _s = obs.span("mean");
+            MeanBaseline::train(data, range)
+        };
+        let threshold = {
+            let _s = obs.span("threshold");
+            ThresholdBaseline {
                 threshold: config.threshold_baseline.threshold,
-            },
+            }
+        };
+        obs.counter("train/field_corr_rules")
+            .add(field_corr.num_rules() as u64);
+        obs.counter("train/assoc_rules")
+            .add(assoc.num_rules() as u64);
+        TrainedPredictors {
+            field_corr,
+            assoc,
+            mean,
+            threshold,
         }
     }
 }
@@ -128,14 +150,42 @@ pub fn evaluate_granularity(
     granularity: u32,
     with_weekly_series: bool,
 ) -> GranularityResults {
-    let truth = truth_set(data.index, eval_range, granularity);
-    let fc = predictors.field_corr.predict(data, eval_range, granularity);
-    let ar = predictors.assoc.predict(data, eval_range, granularity);
-    let mean = predictors.mean.predict(data, eval_range, granularity);
-    let threshold = predictors.threshold.predict(data, eval_range, granularity);
-    let and = and_ensemble(&fc, &ar);
-    let or = or_ensemble(&fc, &ar);
+    let obs = wikistale_obs::MetricsRegistry::global();
+    let _span = obs.span(&format!("granularity_{granularity}d"));
+    let truth = {
+        let _s = obs.span("truth");
+        truth_set(data.index, eval_range, granularity)
+    };
+    let (fc, ar, mean, threshold, and, or) = {
+        let _s = obs.span("predict");
+        let fc = {
+            let _p = obs.span("field_corr");
+            predictors.field_corr.predict(data, eval_range, granularity)
+        };
+        let ar = {
+            let _p = obs.span("assoc");
+            predictors.assoc.predict(data, eval_range, granularity)
+        };
+        let mean = {
+            let _p = obs.span("mean");
+            predictors.mean.predict(data, eval_range, granularity)
+        };
+        let threshold = {
+            let _p = obs.span("threshold");
+            predictors.threshold.predict(data, eval_range, granularity)
+        };
+        let (and, or) = {
+            let _p = obs.span("ensembles");
+            (and_ensemble(&fc, &ar), or_ensemble(&fc, &ar))
+        };
+        obs.counter("predict/emitted").add(
+            (fc.items().len() + ar.items().len() + mean.items().len() + threshold.items().len())
+                as u64,
+        );
+        (fc, ar, mean, threshold, and, or)
+    };
 
+    let _s = obs.span("eval");
     let weekly_series = with_weekly_series.then(|| {
         [
             per_window_series(&fc, &truth),
@@ -167,10 +217,32 @@ pub fn run_paper_evaluation(
     split: &EvalSplit,
     config: &ExperimentConfig,
 ) -> PaperResults {
-    let index = CubeIndex::build(filtered);
+    let index = {
+        let _s = wikistale_obs::MetricsRegistry::global().span("index");
+        CubeIndex::build(filtered)
+    };
     let data = EvalData::new(filtered, &index);
     let predictors = TrainedPredictors::train(&data, split.train_and_validation(), config);
-    results_for(&data, &predictors, split.test, config)
+    results_for(&data, &predictors, split.test, Concurrency::Parallel)
+}
+
+/// [`run_paper_evaluation`] with the granularities evaluated one after
+/// another on the calling thread. Slower, but every span lands on one
+/// thread-local stack, so the metrics registry sees a single nested stage
+/// tree whose top-level totals sum to the true wall time — the mode the
+/// CLI `experiment` subcommand uses for `--metrics` output.
+pub fn run_paper_evaluation_serial(
+    filtered: &ChangeCube,
+    split: &EvalSplit,
+    config: &ExperimentConfig,
+) -> PaperResults {
+    let index = {
+        let _s = wikistale_obs::MetricsRegistry::global().span("index");
+        CubeIndex::build(filtered)
+    };
+    let data = EvalData::new(filtered, &index);
+    let predictors = TrainedPredictors::train(&data, split.train_and_validation(), config);
+    results_for(&data, &predictors, split.test, Concurrency::Serial)
 }
 
 /// Run the same evaluation against the validation year with models trained
@@ -180,32 +252,48 @@ pub fn run_validation_evaluation(
     split: &EvalSplit,
     config: &ExperimentConfig,
 ) -> PaperResults {
-    let index = CubeIndex::build(filtered);
+    let index = {
+        let _s = wikistale_obs::MetricsRegistry::global().span("index");
+        CubeIndex::build(filtered)
+    };
     let data = EvalData::new(filtered, &index);
     let predictors = TrainedPredictors::train(&data, split.train, config);
-    results_for(&data, &predictors, split.validation, config)
+    results_for(&data, &predictors, split.validation, Concurrency::Parallel)
+}
+
+/// Whether [`results_for`] spreads the granularities across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Concurrency {
+    Parallel,
+    Serial,
 }
 
 fn results_for(
     data: &EvalData<'_>,
     predictors: &TrainedPredictors,
     eval_range: DateRange,
-    _config: &ExperimentConfig,
+    concurrency: Concurrency,
 ) -> PaperResults {
-    // The four granularities are independent; evaluate them concurrently.
-    let per_granularity = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = crate::GRANULARITIES
+    // The four granularities are independent; evaluate them concurrently
+    // unless the caller wants one nested span tree on this thread.
+    let per_granularity = match concurrency {
+        Concurrency::Serial => crate::GRANULARITIES
             .iter()
-            .map(|&g| {
-                s.spawn(move |_| evaluate_granularity(data, predictors, eval_range, g, g == 7))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("granularity worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope");
+            .map(|&g| evaluate_granularity(data, predictors, eval_range, g, g == 7))
+            .collect::<Vec<_>>(),
+        Concurrency::Parallel => std::thread::scope(|s| {
+            let handles: Vec<_> = crate::GRANULARITIES
+                .iter()
+                .map(|&g| {
+                    s.spawn(move || evaluate_granularity(data, predictors, eval_range, g, g == 7))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("granularity worker panicked"))
+                .collect::<Vec<_>>()
+        }),
+    };
 
     let mut rules_per_template: Vec<(TemplateId, usize)> =
         predictors.assoc.rules_per_template().into_iter().collect();

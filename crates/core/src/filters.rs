@@ -56,6 +56,8 @@ impl FilterPipeline {
     /// Run the enabled stages in paper order, returning the filtered cube
     /// and the per-stage report.
     pub fn apply(&self, cube: &ChangeCube) -> (ChangeCube, FilterReport) {
+        let obs = wikistale_obs::MetricsRegistry::global();
+        let _span = obs.span("filter");
         let original = cube.num_changes();
         let mut report = FilterReport {
             original,
@@ -64,11 +66,13 @@ impl FilterPipeline {
         let mut current = cube.clone();
 
         if self.drop_bot_reverted {
+            let _s = obs.span("bot_reverted");
             let next = current.retain_changes(|c| !c.flags.is_bot_reverted());
             report.push_stage("bot-reverted", &current, &next);
             current = next;
         }
         if self.dedup_days {
+            let _s = obs.span("dedup_days");
             let next = current
                 .with_changes(dedup_days(current.changes()))
                 .expect("dedup preserves referential integrity");
@@ -76,11 +80,13 @@ impl FilterPipeline {
             current = next;
         }
         if self.drop_creations_deletions {
+            let _s = obs.span("creations_deletions");
             let next = current.retain_changes(|c| c.kind == ChangeKind::Update);
             report.push_stage("creations & deletions", &current, &next);
             current = next;
         }
         if let Some(min) = self.min_changes {
+            let _s = obs.span("min_changes");
             let mut counts: FxHashMap<FieldId, usize> = FxHashMap::default();
             for c in current.changes() {
                 *counts.entry(c.field()).or_insert(0) += 1;
@@ -89,6 +95,10 @@ impl FilterPipeline {
             report.push_stage("fields with < min changes", &current, &next);
             current = next;
         }
+        obs.counter("filter/removed")
+            .add((original - current.num_changes()) as u64);
+        obs.counter("filter/surviving")
+            .add(current.num_changes() as u64);
         (current, report)
     }
 }
@@ -101,6 +111,12 @@ impl Default for FilterPipeline {
 
 /// Collapse each field's changes of one day into a representative change:
 /// the mode of the day's values; ties keep the most recent value.
+///
+/// [`ChangeCube`] construction already canonicalizes same-day writes to
+/// one slot (last value wins), so on cubes built by this workspace each
+/// group has size one and the stage removes nothing; it remains as
+/// defense in depth for change tables assembled outside the constructor
+/// and to keep the report's stage list aligned with the paper's §4.
 ///
 /// The input must be in canonical `(day, entity, property)` order (as
 /// [`ChangeCube::changes`] guarantees), which makes each (field, day) group
@@ -340,7 +356,9 @@ mod tests {
         for d in 1..=6 {
             b.change(day(d), e, p, &format!("v{d}"), ChangeKind::Update);
         }
-        b.change(day(6), e, p, "v6", ChangeKind::Update); // same-day dup
+        // Same-day duplicate: collapsed by cube canonicalization before the
+        // pipeline ever sees it, so it does not count toward `original`.
+        b.change(day(6), e, p, "v6-later", ChangeKind::Update);
         b.change_full(
             day(7),
             e,
@@ -351,8 +369,8 @@ mod tests {
         );
         let (cube, report) = FilterPipeline::paper().apply(&b.finish());
         assert_eq!(report.stages.len(), 4);
-        assert_eq!(report.original, 9);
-        // bot (1), dup (1), create (1) removed; 6 updates ≥ 5 survive.
+        assert_eq!(report.original, 8);
+        // bot (1) and create (1) removed; 6 updates ≥ 5 survive.
         assert_eq!(cube.num_changes(), 6);
         let total_removed: usize = report.stages.iter().map(|s| s.removed).sum();
         assert_eq!(total_removed + cube.num_changes(), report.original);

@@ -194,7 +194,7 @@ fn mine_rules(data: &EvalData<'_>, range: DateRange, apriori: &AprioriParams) ->
         .filter(|(_, txs)| !txs.is_empty())
         .collect();
 
-    let chunk_results = parallel_chunks(&jobs, 32, |chunk| {
+    let chunk_results = parallel_chunks("assoc_templates", &jobs, 32, |chunk| {
         let mut rules = Vec::new();
         for (template_idx, txs) in chunk {
             // Template-local dense item ids.

@@ -73,6 +73,14 @@ impl Default for FieldCorrelationParams {
 /// Day lists must be sorted; duplicate days act as per-day counts, so the
 /// function is exact both before and after day-deduplication. Returns 1.0
 /// (maximally uncorrelated) when both histories are empty in `range`.
+///
+/// The result is always in `[0, 1]`. Under [`DistanceNorm::DayCount`] the
+/// raw quotient can exceed 1 when per-day multiplicities push the change
+/// mass past the day span (k days cannot normalize more than k changes of
+/// disagreement), so that arm clamps to 1.0 — beyond "no overlapping
+/// changes" there is no meaningful gradation, and an unclamped value
+/// would make θ comparisons depend on history length rather than
+/// correlation.
 pub fn change_distance(a: &[Date], b: &[Date], range: DateRange, norm: DistanceNorm) -> f64 {
     let a = in_range(a, range);
     let b = in_range(b, range);
@@ -111,8 +119,11 @@ pub fn change_distance(a: &[Date], b: &[Date], range: DateRange, norm: DistanceN
             }
         }
         DistanceNorm::DayCount => {
+            if a.is_empty() && b.is_empty() {
+                return 1.0;
+            }
             let k = range.len_days().max(1);
-            diff as f64 / k as f64
+            (diff as f64 / k as f64).min(1.0)
         }
     }
 }
@@ -163,7 +174,14 @@ pub fn change_distance_lagged(
                 unmatched as f64 / mass as f64
             }
         }
-        DistanceNorm::DayCount => unmatched as f64 / range.len_days().max(1) as f64,
+        // Clamped for the same reason as in `change_distance`: more
+        // unmatched changes than days would push the quotient past 1.
+        DistanceNorm::DayCount => {
+            if a.is_empty() && b.is_empty() {
+                return 1.0;
+            }
+            (unmatched as f64 / range.len_days().max(1) as f64).min(1.0)
+        }
     }
 }
 
@@ -207,7 +225,7 @@ impl FieldCorrelation {
             .filter(|&p| index.fields_on_page(p).len() >= 2)
             .collect();
 
-        let chunk_rules = parallel_chunks(&pages, 64, |chunk| {
+        let chunk_rules = parallel_chunks("field_corr_pages", &pages, 64, |chunk| {
             let mut rules: Vec<(u32, u32)> = Vec::new();
             for &page in chunk {
                 let fields = index.fields_on_page(page);
@@ -361,6 +379,57 @@ mod tests {
             ),
             1.0
         );
+    }
+
+    #[test]
+    fn day_count_norm_clamps_when_mass_exceeds_span() {
+        // 30 changes on one day vs an empty history over a 10-day range:
+        // the raw quotient would be 3.0; the clamp caps it at 1.0.
+        let a: Vec<Date> = std::iter::repeat_n(day(1), 30).collect();
+        let d = change_distance(&a, &[], range(10), DistanceNorm::DayCount);
+        assert_eq!(d, 1.0);
+        let dl = change_distance_lagged(&a, &[], range(10), DistanceNorm::DayCount, 2);
+        assert_eq!(dl, 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Multiplicity-aware bounds: histories drawn as multisets (vec
+        /// with duplicate days) over a short range, so the change mass can
+        /// exceed the day span — the regime where the unclamped DayCount
+        /// quotient escaped [0, 1]. Checks symmetry, bounds, and
+        /// zero-iff-identical-in-range for both norms and for the lagged
+        /// variant.
+        #[test]
+        fn prop_distance_bounded_with_multiplicity(
+            a in proptest::collection::vec(0i32..12, 0..80),
+            b in proptest::collection::vec(0i32..12, 0..80),
+            lag in 0u32..4,
+        ) {
+            let mut a = a; a.sort_unstable();
+            let mut b = b; b.sort_unstable();
+            let av: Vec<Date> = a.iter().map(|&d| day(d)).collect();
+            let bv: Vec<Date> = b.iter().map(|&d| day(d)).collect();
+            let r = range(10);
+            for norm in [DistanceNorm::TotalMass, DistanceNorm::DayCount] {
+                let dab = change_distance(&av, &bv, r, norm);
+                let dba = change_distance(&bv, &av, r, norm);
+                prop_assert!((dab - dba).abs() < 1e-12, "symmetry under {norm:?}");
+                prop_assert!((0.0..=1.0).contains(&dab), "bounds under {norm:?}: {dab}");
+                let daa = change_distance(&av, &av, r, norm);
+                if av.iter().any(|&d| r.contains(d)) {
+                    prop_assert_eq!(daa, 0.0, "identity under {:?}", norm);
+                } else {
+                    // Both empty in range: 1.0 by convention.
+                    prop_assert_eq!(daa, 1.0);
+                }
+                let dlag = change_distance_lagged(&av, &bv, r, norm, lag);
+                let dlag_rev = change_distance_lagged(&bv, &av, r, norm, lag);
+                prop_assert!((0.0..=1.0).contains(&dlag), "lagged bounds: {dlag}");
+                prop_assert!((dlag - dlag_rev).abs() < 1e-12, "lagged symmetry");
+            }
+        }
     }
 
     /// Cube with a page hosting a tight pair, a loose pair, and an

@@ -12,14 +12,18 @@ pub use mean_baseline::MeanBaseline;
 pub use seasonal::{SeasonalParams, SeasonalPredictor};
 pub use threshold_baseline::ThresholdBaseline;
 
-use crossbeam::thread;
+use std::time::{Duration, Instant};
+use wikistale_obs::MetricsRegistry;
 
-/// Map chunks of `items` in parallel with crossbeam scoped threads and
-/// collect the chunk results in order.
+/// Map chunks of `items` in parallel with scoped threads and collect the
+/// chunk results in order.
 ///
 /// Used for the per-page correlation search and per-template rule mining,
-/// both embarrassingly parallel.
-pub(crate) fn parallel_chunks<T, R, F>(items: &[T], num_chunks: usize, f: F) -> Vec<R>
+/// both embarrassingly parallel. Each chunk's wall time is recorded in
+/// the global [`MetricsRegistry`] under `parallel/<label>/chunk`, along
+/// with gauges for the chunk count and the imbalance ratio
+/// (slowest chunk / mean chunk) of the most recent invocation.
+pub(crate) fn parallel_chunks<T, R, F>(label: &str, items: &[T], num_chunks: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -33,20 +37,47 @@ where
         .unwrap_or(1)
         .min(num_chunks.max(1));
     let chunk_size = items.len().div_ceil(threads);
-    if threads <= 1 || items.len() < 2 * threads {
-        return vec![f(items)];
+    let timed_f = |chunk: &[T]| {
+        let start = Instant::now();
+        let result = f(chunk);
+        (result, start.elapsed())
+    };
+    let timed: Vec<(R, Duration)> = if threads <= 1 || items.len() < 2 * threads {
+        vec![timed_f(items)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk_size)
+                .map(|chunk| s.spawn(|| timed_f(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
+    record_chunk_stats(label, &timed);
+    timed.into_iter().map(|(result, _)| result).collect()
+}
+
+fn record_chunk_stats<R>(label: &str, timed: &[(R, Duration)]) {
+    let registry = MetricsRegistry::global();
+    let chunk_path = format!("parallel/{label}/chunk");
+    let mut total = Duration::ZERO;
+    let mut max = Duration::ZERO;
+    for (_, elapsed) in timed {
+        registry.record_duration(&chunk_path, *elapsed);
+        total += *elapsed;
+        max = max.max(*elapsed);
     }
-    thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk_size)
-            .map(|chunk| s.spawn(|_| f(chunk)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope")
+    registry.gauge_set(&format!("parallel/{label}/chunks"), timed.len() as f64);
+    let mean = total.as_secs_f64() / timed.len() as f64;
+    if mean > 0.0 {
+        registry.gauge_set(
+            &format!("parallel/{label}/imbalance"),
+            max.as_secs_f64() / mean,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -56,7 +87,7 @@ mod tests {
     #[test]
     fn parallel_chunks_covers_all_items() {
         let items: Vec<u64> = (0..10_000).collect();
-        let partials = parallel_chunks(&items, 8, |chunk| chunk.iter().sum::<u64>());
+        let partials = parallel_chunks("test_sum", &items, 8, |chunk| chunk.iter().sum::<u64>());
         let total: u64 = partials.into_iter().sum();
         assert_eq!(total, items.iter().sum::<u64>());
     }
@@ -64,9 +95,33 @@ mod tests {
     #[test]
     fn parallel_chunks_empty_and_small() {
         let empty: Vec<u32> = vec![];
-        assert!(parallel_chunks(&empty, 4, |c| c.len()).is_empty());
+        assert!(parallel_chunks("test_empty", &empty, 4, |c| c.len()).is_empty());
         let small = vec![1u32];
-        let r = parallel_chunks(&small, 4, |c| c.len());
+        let r = parallel_chunks("test_small", &small, 4, |c| c.len());
         assert_eq!(r.iter().sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn counters_under_parallel_chunks_report_exact_totals() {
+        // Worker threads bump a shared counter handle; the registry must
+        // see every increment exactly once regardless of chunking.
+        let registry = MetricsRegistry::global();
+        let counter = registry.counter("test_parallel_hits");
+        let before = counter.get();
+        let items: Vec<u64> = (0..10_000).collect();
+        parallel_chunks("test_counted", &items, 8, |chunk| {
+            let counter = registry.counter("test_parallel_hits");
+            for _ in chunk {
+                counter.incr();
+            }
+        });
+        assert_eq!(counter.get() - before, 10_000);
+        // Chunk wall times were recorded: as many observations as chunks.
+        let snapshot = registry.snapshot();
+        let stat = snapshot.spans["parallel/test_counted/chunk"];
+        assert_eq!(
+            stat.count,
+            snapshot.gauges["parallel/test_counted/chunks"] as u64
+        );
     }
 }

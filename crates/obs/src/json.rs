@@ -1,0 +1,340 @@
+//! Minimal JSON helpers: string escaping, number formatting, and a
+//! recursive-descent parser used by tests and tooling to check rendered
+//! output is well-formed — and to navigate it — without an external JSON
+//! dependency.
+
+use std::collections::BTreeMap;
+
+/// Escape `s` as a JSON string literal, including the surrounding quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON number. Non-finite values have no JSON
+/// representation and render as `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on a whole f64 prints no decimal point; that is still
+        // valid JSON, so pass it through unchanged.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A parsed JSON value. Object keys keep sorted order via `BTreeMap`,
+/// matching how the registry renders them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member `key` of an object, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `text` as one complete JSON value.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+/// Check that `text` is one complete, well-formed JSON value.
+pub fn validate(text: &str) -> Result<(), String> {
+    parse(text).map(drop)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b't') => parse_literal(bytes, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null").map(|()| Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|e| format!("invalid UTF-8: {e}"));
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        if bytes.len() < *pos + 5
+                            || !bytes[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+                        }
+                        let hex = std::str::from_utf8(&bytes[*pos + 1..*pos + 5]).unwrap();
+                        let code = u32::from_str_radix(hex, 16).unwrap();
+                        // Surrogate pairs are not produced by our renderer;
+                        // reject them rather than silently mis-decode.
+                        let c = char::from_u32(code).ok_or_else(|| {
+                            format!("unsupported \\u{hex} at byte {pos}", pos = *pos)
+                        })?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            c if c < 0x20 => {
+                return Err(format!("raw control byte in string at {pos}", pos = *pos))
+            }
+            _ => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |bytes: &[u8], pos: &mut usize| {
+        let before = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > before
+    };
+    if !digits(bytes, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(bytes, pos) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(bytes, pos) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|e| format!("bad number at byte {start}: {e}"))
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "\"str \\u0041\"",
+            "{\"a\": [1, 2, {\"b\": true}], \"c\": null}",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "01x", "\"unterminated", "{} {}"] {
+            assert!(validate(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_builds_navigable_values() {
+        let v = parse("{\"a\": [1, 2.5], \"s\": \"x\\ny\", \"t\": true}").unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Value::Array(vec![Value::Num(1.0), Value::Num(2.5)]))
+        );
+        assert_eq!(v.get("s"), Some(&Value::Str("x\ny".to_string())));
+        assert_eq!(v.get("t"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("a").unwrap().as_f64(), None);
+        assert_eq!(parse("3.5").unwrap().as_f64(), Some(3.5));
+        assert!(v.as_object().unwrap().contains_key("s"));
+    }
+
+    #[test]
+    fn parse_unescapes_unicode() {
+        assert_eq!(
+            parse("\"\\u00e9\\u0041\"").unwrap(),
+            Value::Str("\u{e9}A".to_string())
+        );
+        assert!(parse("\"\\ud800\"").is_err()); // lone surrogate
+    }
+}

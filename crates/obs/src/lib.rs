@@ -1,0 +1,578 @@
+//! Zero-dependency pipeline observability.
+//!
+//! The build environment cannot fetch crates, so this subsystem uses only
+//! the standard library: [`std::time::Instant`] for monotonic timing,
+//! atomics for counters and gauges, and hand-rolled JSON rendering.
+//!
+//! Three primitives cover the pipeline's needs:
+//!
+//! - **Spans** — RAII wall-clock timers that nest. Entering a span pushes
+//!   its name onto a thread-local stack; the recorded key is the
+//!   slash-joined path of the active stack (`experiment/train/field_corr`),
+//!   so the rendered output is a stage tree. Each path accumulates call
+//!   count, total, min, and max.
+//! - **Counters** — monotonically increasing `u64`s (changes ingested,
+//!   predictions emitted). [`MetricsRegistry::counter`] returns a shared
+//!   atomic handle so hot loops pay one `fetch_add`, no lock.
+//! - **Gauges** — last-write-wins `f64`s (chunk imbalance ratio, corpus
+//!   size) stored as bit-cast `u64` atomics.
+//!
+//! A process-wide registry is available via [`MetricsRegistry::global`];
+//! library code records into it unconditionally (recording costs tens of
+//! nanoseconds) and binaries decide whether to render. Output formats are
+//! a human-readable table ([`MetricsRegistry::render_table`]) and machine
+//! JSON ([`MetricsRegistry::render_json`]) whose span section is a tree
+//! mirroring the nesting.
+//!
+//! ```
+//! use wikistale_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! {
+//!     let _outer = registry.span("train");
+//!     let _inner = registry.span("field_corr");
+//!     registry.counter("pairs_scored").add(42);
+//! }
+//! let json = registry.render_json();
+//! assert!(json.contains("\"field_corr\""));
+//! wikistale_obs::json::validate(&json).unwrap();
+//! ```
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Accumulated statistics for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStat {
+    /// Number of completed executions.
+    pub count: u64,
+    /// Total wall time across executions.
+    pub total: Duration,
+    /// Shortest single execution.
+    pub min: Duration,
+    /// Longest single execution.
+    pub max: Duration,
+}
+
+impl SpanStat {
+    fn record(&mut self, elapsed: Duration) {
+        if self.count == 0 || elapsed < self.min {
+            self.min = elapsed;
+        }
+        if elapsed > self.max {
+            self.max = elapsed;
+        }
+        self.count += 1;
+        self.total += elapsed;
+    }
+
+    /// Mean execution time, or zero when nothing was recorded.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// A shared atomic counter handle. Cheap to clone; `add` is lock-free.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    /// The active span path on this thread. Worker threads start at the
+    /// root, so spans opened inside spawned threads appear as top-level
+    /// stages unless the caller passes an explicit parent path.
+    static SPAN_STACK: std::cell::RefCell<Vec<String>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Central store for spans, counters, and gauges.
+///
+/// All methods take `&self`; internal state is a mutex-guarded map for
+/// span statistics (updated once per span exit) plus atomics for the hot
+/// counter/gauge paths.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, AtomicU64>>,
+}
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry the pipeline records into.
+    pub fn global() -> &'static MetricsRegistry {
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Enter a span named `name`, nested under this thread's current span.
+    /// The returned guard records the elapsed time when dropped.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        SpanGuard {
+            registry: self,
+            path,
+            start: Instant::now(),
+        }
+    }
+
+    /// Record a completed duration directly under `path` (slash-separated),
+    /// bypassing the thread-local nesting. Used when the caller measured
+    /// the time itself, e.g. per-chunk timings from worker threads.
+    pub fn record_duration(&self, path: &str, elapsed: Duration) {
+        self.spans
+            .lock()
+            .expect("metrics span map poisoned")
+            .entry(path.to_string())
+            .or_default()
+            .record(elapsed);
+    }
+
+    /// The shared counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let handle = self
+            .counters
+            .lock()
+            .expect("metrics counter map poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone();
+        Counter(handle)
+    }
+
+    /// Set gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.gauges
+            .lock()
+            .expect("metrics gauge map poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current gauge value, if the gauge exists.
+    pub fn gauge_get(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .lock()
+            .expect("metrics gauge map poisoned")
+            .get(name)
+            .map(|bits| f64::from_bits(bits.load(Ordering::Relaxed)))
+    }
+
+    /// Drop all recorded spans, counters, and gauges. Counter handles
+    /// obtained before the reset keep counting into detached cells.
+    pub fn reset(&self) {
+        self.spans
+            .lock()
+            .expect("metrics span map poisoned")
+            .clear();
+        self.counters
+            .lock()
+            .expect("metrics counter map poisoned")
+            .clear();
+        self.gauges
+            .lock()
+            .expect("metrics gauge map poisoned")
+            .clear();
+    }
+
+    /// A point-in-time copy of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let spans = self
+            .spans
+            .lock()
+            .expect("metrics span map poisoned")
+            .clone();
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics counter map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metrics gauge map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        MetricsSnapshot {
+            spans,
+            counters,
+            gauges,
+        }
+    }
+
+    /// Render the current state as a human-readable table.
+    pub fn render_table(&self) -> String {
+        self.snapshot().render_table()
+    }
+
+    /// Render the current state as JSON (span section nested as a tree).
+    pub fn render_json(&self) -> String {
+        self.snapshot().render_json()
+    }
+}
+
+/// RAII guard returned by [`MetricsRegistry::span`].
+#[must_use = "dropping the guard immediately records a zero-length span"]
+pub struct SpanGuard<'a> {
+    registry: &'a MetricsRegistry,
+    path: String,
+    start: Instant,
+}
+
+impl SpanGuard<'_> {
+    /// The slash-separated path this span records under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop our own frame. Out-of-order drops (guards held across
+            // each other) pop the nearest matching frame instead.
+            if let Some(pos) = stack.iter().rposition(|p| p == &self.path) {
+                stack.remove(pos);
+            }
+        });
+        self.registry.record_duration(&self.path, elapsed);
+    }
+}
+
+/// Immutable copy of a registry's state; renders tables and JSON.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Span statistics keyed by slash-separated path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+impl MetricsSnapshot {
+    /// Total time recorded by top-level spans (paths without a parent).
+    pub fn top_level_total(&self) -> Duration {
+        self.spans
+            .iter()
+            .filter(|(path, _)| !path.contains('/'))
+            .map(|(_, stat)| stat.total)
+            .sum()
+    }
+
+    /// Render as an aligned text table: spans (indented by depth), then
+    /// counters, then gauges. Empty sections are omitted.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "{:<44} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+                "span", "count", "total_ms", "mean_ms", "min_ms", "max_ms"
+            ));
+            SpanNode::build(&self.spans).write_table(&mut out, 0);
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("\n{:<44} {:>20}\n", "counter", "value"));
+            for (name, value) in &self.counters {
+                out.push_str(&format!("{name:<44} {value:>20}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str(&format!("\n{:<44} {:>20}\n", "gauge", "value"));
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("{name:<44} {value:>20.6}\n"));
+            }
+        }
+        out
+    }
+
+    /// Render as JSON. Spans become a tree keyed by path segment, each
+    /// node carrying `count`/`total_ms`/`mean_ms`/`min_ms`/`max_ms` and a
+    /// `children` object. A path can be both a stage and a parent
+    /// (`train` and `train/field_corr`), so stats and children coexist.
+    pub fn render_json(&self) -> String {
+        let tree = SpanNode::build(&self.spans);
+        let mut out = String::from("{\n  \"spans\": ");
+        tree.write_json(&mut out, 1);
+        out.push_str(",\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json::escape(name), value));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {}",
+                json::escape(name),
+                json::number(*value)
+            ));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct SpanNode {
+    stat: Option<SpanStat>,
+    children: BTreeMap<String, SpanNode>,
+}
+
+impl SpanNode {
+    fn build(spans: &BTreeMap<String, SpanStat>) -> SpanNode {
+        let mut root = SpanNode::default();
+        for (path, stat) in spans {
+            let mut node = &mut root;
+            for segment in path.split('/') {
+                node = node.children.entry(segment.to_string()).or_default();
+            }
+            node.stat = Some(*stat);
+        }
+        root
+    }
+
+    fn write_table(&self, out: &mut String, depth: usize) {
+        for (name, child) in &self.children {
+            let label = format!("{}{}", "  ".repeat(depth), name);
+            match &child.stat {
+                Some(stat) => out.push_str(&format!(
+                    "{:<44} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+                    label,
+                    stat.count,
+                    fmt_ms(stat.total),
+                    fmt_ms(stat.mean()),
+                    fmt_ms(stat.min),
+                    fmt_ms(stat.max),
+                )),
+                // Recorded only through descendants (e.g. the `parallel`
+                // grouping above per-chunk spans): print a name-only row
+                // so the children don't appear attached to whatever
+                // subtree happened to sort before them.
+                None => {
+                    out.push_str(&label);
+                    out.push('\n');
+                }
+            }
+            child.write_table(out, depth + 1);
+        }
+    }
+
+    fn write_json(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let inner = "  ".repeat(depth + 1);
+        out.push('{');
+        let mut first = true;
+        let mut field = |out: &mut String, text: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            out.push_str(&inner);
+            out.push_str(&text);
+        };
+        if let Some(stat) = &self.stat {
+            field(out, format!("\"count\": {}", stat.count));
+            field(out, format!("\"total_ms\": {}", fmt_ms(stat.total)));
+            field(out, format!("\"mean_ms\": {}", fmt_ms(stat.mean())));
+            field(out, format!("\"min_ms\": {}", fmt_ms(stat.min)));
+            field(out, format!("\"max_ms\": {}", fmt_ms(stat.max)));
+        }
+        for (name, child) in &self.children {
+            let mut text = format!("{}: ", json::escape(name));
+            child.write_json(&mut text, depth + 1);
+            field(out, text);
+        }
+        if !first {
+            out.push('\n');
+            out.push_str(&pad);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn spans_nest_via_thread_local_stack() {
+        let registry = MetricsRegistry::new();
+        {
+            let _outer = registry.span("outer");
+            {
+                let _inner = registry.span("inner");
+            }
+            let _sibling = registry.span("sibling");
+        }
+        let snapshot = registry.snapshot();
+        let paths: Vec<&str> = snapshot.spans.keys().map(String::as_str).collect();
+        assert_eq!(paths, ["outer", "outer/inner", "outer/sibling"]);
+    }
+
+    #[test]
+    fn span_stats_accumulate() {
+        let registry = MetricsRegistry::new();
+        registry.record_duration("stage", Duration::from_millis(10));
+        registry.record_duration("stage", Duration::from_millis(30));
+        let stat = registry.snapshot().spans["stage"];
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.total, Duration::from_millis(40));
+        assert_eq!(stat.mean(), Duration::from_millis(20));
+        assert_eq!(stat.min, Duration::from_millis(10));
+        assert_eq!(stat.max, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn counters_are_exact_across_threads() {
+        let registry = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let counter = registry.counter("hits");
+                    for _ in 0..10_000 {
+                        counter.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.counter("hits").get(), 80_000);
+    }
+
+    #[test]
+    fn gauges_hold_last_write() {
+        let registry = MetricsRegistry::new();
+        registry.gauge_set("imbalance", 1.5);
+        registry.gauge_set("imbalance", 2.25);
+        assert_eq!(registry.gauge_get("imbalance"), Some(2.25));
+        assert_eq!(registry.gauge_get("missing"), None);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c").incr();
+        registry.gauge_set("g", 1.0);
+        registry.record_duration("s", Duration::from_millis(1));
+        registry.reset();
+        let snapshot = registry.snapshot();
+        assert!(snapshot.spans.is_empty());
+        assert!(snapshot.counters.is_empty());
+        assert!(snapshot.gauges.is_empty());
+    }
+
+    #[test]
+    fn json_render_is_valid_and_nested() {
+        let registry = MetricsRegistry::new();
+        registry.record_duration("train", Duration::from_millis(50));
+        registry.record_duration("train/field_corr", Duration::from_millis(30));
+        registry.record_duration("train/assoc", Duration::from_millis(20));
+        registry.counter("changes \"quoted\"").add(7);
+        registry.gauge_set("ratio", 0.5);
+        let rendered = registry.render_json();
+        json::validate(&rendered).expect("valid JSON");
+        assert!(rendered.contains("\"field_corr\""));
+        assert!(rendered.contains("\"changes \\\"quoted\\\"\""));
+    }
+
+    #[test]
+    fn table_render_lists_all_sections() {
+        let registry = MetricsRegistry::new();
+        registry.record_duration("a/b", Duration::from_millis(5));
+        registry.counter("n").add(3);
+        registry.gauge_set("g", 9.75);
+        let table = registry.render_table();
+        assert!(table.contains("span"));
+        assert!(table.contains("  b"));
+        assert!(table.contains("counter"));
+        assert!(table.contains("gauge"));
+    }
+
+    #[test]
+    fn table_render_prints_statless_intermediate_nodes() {
+        let registry = MetricsRegistry::new();
+        registry.record_duration("filter/min_changes", Duration::from_millis(5));
+        registry.record_duration("parallel/assoc/chunk", Duration::from_millis(2));
+        let table = registry.render_table();
+        // `parallel` and `parallel/assoc` have no stats of their own, but
+        // must still print so `chunk` is not mistaken for a child of the
+        // lexicographically preceding `filter` subtree.
+        let lines: Vec<&str> = table.lines().collect();
+        let parallel = lines.iter().position(|l| l.trim() == "parallel").unwrap();
+        assert_eq!(lines[parallel + 1].trim(), "assoc");
+        assert!(lines[parallel + 2].trim_start().starts_with("chunk"));
+    }
+
+    #[test]
+    fn top_level_total_ignores_children() {
+        let registry = MetricsRegistry::new();
+        registry.record_duration("a", Duration::from_millis(100));
+        registry.record_duration("a/b", Duration::from_millis(90));
+        registry.record_duration("c", Duration::from_millis(10));
+        assert_eq!(
+            registry.snapshot().top_level_total(),
+            Duration::from_millis(110)
+        );
+    }
+}

@@ -24,7 +24,6 @@ use crate::date::Date;
 use crate::error::CubeError;
 use crate::ids::{EntityId, PageId, PropertyId, TemplateId, ValueId};
 use crate::intern::Interner;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
@@ -33,10 +32,10 @@ const MAGIC: &[u8; 8] = b"WCUBE\0\0\0";
 const VERSION: u32 = 1;
 
 /// Serialize `cube` into a byte buffer.
-pub fn encode(cube: &ChangeCube) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + cube.num_changes() * 18);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+pub fn encode(cube: &ChangeCube) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + cube.num_changes() * 18);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
     for interner in [
         cube.entities(),
         cube.properties(),
@@ -46,21 +45,21 @@ pub fn encode(cube: &ChangeCube) -> Bytes {
     ] {
         put_interner(&mut buf, interner);
     }
-    buf.put_u32_le(cube.entity_meta().len() as u32);
+    buf.extend_from_slice(&(cube.entity_meta().len() as u32).to_le_bytes());
     for meta in cube.entity_meta() {
-        buf.put_u32_le(meta.template.0);
-        buf.put_u32_le(meta.page.0);
+        buf.extend_from_slice(&meta.template.0.to_le_bytes());
+        buf.extend_from_slice(&meta.page.0.to_le_bytes());
     }
-    buf.put_u64_le(cube.num_changes() as u64);
+    buf.extend_from_slice(&(cube.num_changes() as u64).to_le_bytes());
     for c in cube.changes() {
-        buf.put_i32_le(c.day.day_number());
-        buf.put_u32_le(c.entity.0);
-        buf.put_u32_le(c.property.0);
-        buf.put_u32_le(c.value.0);
-        buf.put_u8(c.kind as u8);
-        buf.put_u8(c.flags.bits());
+        buf.extend_from_slice(&c.day.day_number().to_le_bytes());
+        buf.extend_from_slice(&c.entity.0.to_le_bytes());
+        buf.extend_from_slice(&c.property.0.to_le_bytes());
+        buf.extend_from_slice(&c.value.0.to_le_bytes());
+        buf.push(c.kind as u8);
+        buf.push(c.flags.bits());
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserialize a cube from bytes produced by [`encode`].
@@ -109,11 +108,8 @@ pub fn decode(mut data: &[u8]) -> Result<ChangeCube, CubeError> {
             flags,
         });
     }
-    if buf.has_remaining() {
-        return Err(CubeError::Corrupt(format!(
-            "{} trailing bytes",
-            buf.remaining()
-        )));
+    if !buf.is_empty() {
+        return Err(CubeError::Corrupt(format!("{} trailing bytes", buf.len())));
     }
     ChangeCube::from_parts(
         entities,
@@ -145,11 +141,11 @@ pub fn read_from_path(path: &Path) -> Result<ChangeCube, CubeError> {
     decode(&data)
 }
 
-fn put_interner(buf: &mut BytesMut, interner: &Interner) {
-    buf.put_u32_le(interner.len() as u32);
+fn put_interner(buf: &mut Vec<u8>, interner: &Interner) {
+    buf.extend_from_slice(&(interner.len() as u32).to_le_bytes());
     for (_, s) in interner.iter() {
-        buf.put_u32_le(s.len() as u32);
-        buf.put_slice(s.as_bytes());
+        buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        buf.extend_from_slice(s.as_bytes());
     }
 }
 

@@ -19,7 +19,10 @@ pub struct EntityMeta {
 /// An immutable, canonically-ordered collection of infobox changes together
 /// with the dimension tables (interners) its ids refer to.
 ///
-/// The change table is sorted by `(day, entity, property)`; this makes
+/// The change table is sorted by `(day, entity, property)` and holds at
+/// most one change per key: when several same-day changes hit one
+/// (entity, property) slot, the last value written wins (matching how an
+/// infobox read at end of day sees only the final revision). Sorting makes
 /// time-range scans a binary search plus a linear walk and lets the filter
 /// pipeline stream in one pass.
 #[derive(Debug, Clone, Default)]
@@ -35,7 +38,9 @@ pub struct ChangeCube {
 
 impl ChangeCube {
     /// Assemble a cube from already-built parts. Used by the builder and by
-    /// the persistence layer; validates referential integrity and ordering.
+    /// the persistence layer; validates referential integrity and restores
+    /// the canonical form (sorted, one change per `(day, entity, property)`
+    /// with the last value winning).
     pub(crate) fn from_parts(
         entities: Interner,
         properties: Interner,
@@ -81,8 +86,18 @@ impl ChangeCube {
             }
         }
         if !changes.is_sorted_by_key(|c| c.sort_key()) {
-            changes.sort_unstable_by_key(|c| c.sort_key());
+            // Stable, so same-key changes keep their input order and the
+            // last-wins dedup below resolves to the latest write.
+            changes.sort_by_key(|c| c.sort_key());
         }
+        changes.dedup_by(|cur, prev| {
+            if cur.sort_key() == prev.sort_key() {
+                *prev = *cur;
+                true
+            } else {
+                false
+            }
+        });
         Ok(ChangeCube {
             entities,
             properties,
@@ -244,8 +259,8 @@ impl ChangeCube {
     }
 
     /// A new cube over the same dimension tables with `changes` as the
-    /// change table (re-sorted if needed). Ids must refer to this cube's
-    /// tables.
+    /// change table (re-sorted and same-day duplicates collapsed if
+    /// needed). Ids must refer to this cube's tables.
     pub fn with_changes(&self, changes: Vec<Change>) -> Result<ChangeCube, CubeError> {
         ChangeCube::from_parts(
             self.entities.clone(),
@@ -487,6 +502,44 @@ mod tests {
         reversed.reverse();
         let rebuilt = cube.with_changes(reversed).unwrap();
         assert_eq!(rebuilt.changes(), cube.changes());
+    }
+
+    #[test]
+    fn same_day_same_slot_keeps_last_value() {
+        let mut b = ChangeCubeBuilder::new();
+        let e = b.entity("Ali", "infobox boxer", "Muhammad Ali");
+        let p = b.property("wins");
+        b.change(day(10), e, p, "55", ChangeKind::Create);
+        b.change(day(10), e, p, "56", ChangeKind::Update);
+        b.change(day(11), e, p, "57", ChangeKind::Update);
+        let cube = b.finish();
+        assert_eq!(cube.num_changes(), 2);
+        assert_eq!(cube.value_text(cube.changes()[0].value), "56");
+        assert_eq!(cube.changes()[0].kind, ChangeKind::Update);
+        assert_eq!(cube.value_text(cube.changes()[1].value), "57");
+    }
+
+    #[test]
+    fn dedup_is_stable_under_unsorted_input() {
+        // Feed with_changes an unsorted table containing a duplicate key;
+        // the stable sort must preserve write order within the key so the
+        // later write survives.
+        let cube = small_cube();
+        let mut changes = cube.changes().to_vec();
+        let mut dup = changes[2];
+        dup.value = changes[3].value; // different value, same key as [2]
+        changes.insert(3, dup);
+        changes.reverse();
+        let rebuilt = cube.with_changes(changes).unwrap();
+        assert_eq!(rebuilt.num_changes(), cube.num_changes());
+        // Reversing flipped the write order of the duplicate pair, so the
+        // original write (now last) wins.
+        let survivor = rebuilt
+            .changes()
+            .iter()
+            .find(|c| c.sort_key() == cube.changes()[2].sort_key())
+            .unwrap();
+        assert_eq!(survivor.value, cube.changes()[2].value);
     }
 
     #[test]

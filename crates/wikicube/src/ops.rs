@@ -25,9 +25,10 @@ pub fn slice(cube: &ChangeCube, range: DateRange) -> ChangeCube {
 ///
 /// Entities are unified by name; a name appearing in several cubes must
 /// agree on its template and page, otherwise the merge fails with
-/// [`CubeError::Corrupt`]. Changes are concatenated and re-sorted; exact
-/// duplicate tuples (same day, field, value, kind — e.g. from overlapping
-/// dump parts) are collapsed.
+/// [`CubeError::Corrupt`]. Changes are concatenated and re-canonicalized
+/// by the cube constructor, so same-day changes to one slot (e.g. from
+/// overlapping dump parts) collapse to a single change — with inputs
+/// processed in argument order, a disagreeing later cube wins.
 pub fn merge<'a>(cubes: impl IntoIterator<Item = &'a ChangeCube>) -> Result<ChangeCube, CubeError> {
     let mut builder = ChangeCubeBuilder::new();
     for cube in cubes {
@@ -54,28 +55,7 @@ pub fn merge<'a>(cubes: impl IntoIterator<Item = &'a ChangeCube>) -> Result<Chan
             );
         }
     }
-    let cube = builder.finish();
-    // Collapse exact duplicates from overlapping inputs. Duplicates share
-    // a canonical sort key but may be interleaved with same-slot changes
-    // of different values, so deduplicate within each equal-key run.
-    let changes = cube.changes();
-    let mut deduped: Vec<Change> = Vec::with_capacity(changes.len());
-    let mut i = 0usize;
-    while i < changes.len() {
-        let key = changes[i].sort_key();
-        let run_kept_start = deduped.len();
-        while i < changes.len() && changes[i].sort_key() == key {
-            let c = changes[i];
-            let dup = deduped[run_kept_start..]
-                .iter()
-                .any(|p| p.value == c.value && p.kind == c.kind && p.flags == c.flags);
-            if !dup {
-                deduped.push(c);
-            }
-            i += 1;
-        }
-    }
-    cube.with_changes(deduped)
+    Ok(builder.finish())
 }
 
 fn builder_entity_conflict(

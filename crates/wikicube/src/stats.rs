@@ -20,8 +20,10 @@ pub struct CorpusStats {
     pub by_kind: [usize; 3],
     /// Changes flagged as bot-reverted.
     pub bot_reverted: usize,
-    /// Changes that share field *and* day with an earlier change (the mass
-    /// the day-deduplication filter removes).
+    /// Changes that share field *and* day with an earlier change. Cube
+    /// construction canonicalizes such writes away (last value wins), so
+    /// this is 0 for any constructor-built cube; a nonzero value flags a
+    /// change table that bypassed canonicalization.
     pub same_day_duplicates: usize,
     /// Number of distinct fields with at least one change.
     pub distinct_fields: usize,
@@ -148,7 +150,9 @@ mod tests {
         let q = b.property("q");
         b.change(day(1), e, p, "a", ChangeKind::Create);
         b.change(day(2), e, p, "b", ChangeKind::Update);
-        b.change(day(2), e, p, "c", ChangeKind::Update); // same-day duplicate
+        // Same-day duplicate: collapsed to the later value by cube
+        // canonicalization, so it never reaches the statistics.
+        b.change(day(2), e, p, "c", ChangeKind::Update);
         b.change(day(2), e, q, "x", ChangeKind::Update); // different field, same day
         b.change_full(
             day(3),
@@ -159,16 +163,16 @@ mod tests {
             ChangeFlags::BOT_REVERTED,
         );
         let stats = CorpusStats::compute(&b.finish());
-        assert_eq!(stats.total_changes, 5);
-        assert_eq!(stats.by_kind, [1, 3, 1]);
+        assert_eq!(stats.total_changes, 4);
+        assert_eq!(stats.by_kind, [1, 2, 1]);
         assert_eq!(stats.bot_reverted, 1);
-        assert_eq!(stats.same_day_duplicates, 1);
+        assert_eq!(stats.same_day_duplicates, 0);
         assert_eq!(stats.distinct_fields, 2);
         assert_eq!(stats.active_entities, 1);
         assert_eq!(stats.active_templates, 1);
-        assert!((stats.create_fraction() - 0.2).abs() < 1e-12);
-        assert!((stats.delete_fraction() - 0.2).abs() < 1e-12);
-        assert!((stats.bot_reverted_fraction() - 0.2).abs() < 1e-12);
+        assert!((stats.create_fraction() - 0.25).abs() < 1e-12);
+        assert!((stats.delete_fraction() - 0.25).abs() < 1e-12);
+        assert!((stats.bot_reverted_fraction() - 0.25).abs() < 1e-12);
     }
 
     #[test]

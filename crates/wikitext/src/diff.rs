@@ -341,8 +341,9 @@ mod tests {
     }
 
     #[test]
-    fn same_day_revisions_emit_same_day_changes() {
-        // The day-deduplication filter downstream collapses these.
+    fn same_day_revisions_collapse_to_last_value() {
+        // The diff emits one change per revision, but cube canonicalization
+        // keeps only the day's final write per field (last value wins).
         let cube = build_cube(&[page(
             "P",
             vec![
@@ -351,7 +352,9 @@ mod tests {
                 (0, "{{Infobox x | a = 3}}"),
             ],
         )]);
-        assert_eq!(cube.num_changes(), 3);
-        assert!(cube.changes().iter().all(|c| c.day == day(0)));
+        assert_eq!(cube.num_changes(), 1);
+        let c = cube.changes()[0];
+        assert_eq!(c.day, day(0));
+        assert_eq!(cube.value_text(c.value), "3");
     }
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build, tests, formatting, lints.
+#
+# The workspace is fully offline (all external deps are vendored stubs in
+# vendor/ — see vendor/README.md), so every step below runs without
+# network access; --offline makes cargo fail fast instead of probing an
+# unreachable registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline
+run cargo test -q --offline
+run cargo fmt --all --check
+run cargo clippy --all-targets --offline -- -D warnings
+
+echo "verify: all gates green"

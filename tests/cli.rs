@@ -102,6 +102,118 @@ fn generate_stats_filter_evaluate_monitor() {
 }
 
 #[test]
+fn experiment_metrics_cover_stages_and_sum_to_wall() {
+    use wikistale_obs::json::{self, Value};
+
+    let dir = tmpdir("metrics");
+    let metrics = dir.join("metrics.json");
+    let out = wikistale(&[
+        "experiment",
+        "--preset",
+        "tiny",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("OR-ensemble"));
+
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let parsed = json::parse(&text).expect("metrics output is valid JSON");
+    let spans = parsed.get("spans").and_then(Value::as_object).unwrap();
+
+    // The acceptance stages: synth, filter, train (per predictor),
+    // predict, eval — predict/eval nested under each granularity.
+    for stage in ["synth", "filter", "train", "granularity_7d"] {
+        assert!(spans.contains_key(stage), "missing stage {stage}: {text}");
+    }
+    let train = spans["train"].as_object().unwrap();
+    for predictor in ["field_corr", "assoc", "mean", "threshold"] {
+        assert!(train.contains_key(predictor), "missing train/{predictor}");
+    }
+    let g7 = spans["granularity_7d"].as_object().unwrap();
+    assert!(g7.contains_key("predict"));
+    assert!(g7.contains_key("eval"));
+    let predict = g7["predict"].as_object().unwrap();
+    for predictor in ["field_corr", "assoc", "mean", "threshold", "ensembles"] {
+        assert!(
+            predict.contains_key(predictor),
+            "missing predict/{predictor}"
+        );
+    }
+
+    // The serial pipeline accounts for its own wall time: top-level stage
+    // totals sum to within 10 % of the generate→evaluate wall clock.
+    let stage_sum: f64 = spans
+        .values()
+        .filter_map(|node| node.get("total_ms").and_then(Value::as_f64))
+        .sum();
+    let wall = parsed
+        .get("gauges")
+        .and_then(|g| g.get("experiment/wall_ms"))
+        .and_then(Value::as_f64)
+        .expect("wall gauge present");
+    assert!(
+        (wall - stage_sum).abs() / wall < 0.10,
+        "stages sum to {stage_sum} ms but wall was {wall} ms"
+    );
+
+    // Table format renders the same registry as aligned text.
+    let out = wikistale(&[
+        "experiment",
+        "--preset",
+        "tiny",
+        "--metrics",
+        "-",
+        "--metrics-format",
+        "table",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let table = stdout(&out);
+    assert!(table.contains("span"));
+    assert!(table.contains("counter"));
+    assert!(table.contains("synth"));
+
+    // Error paths.
+    let out = wikistale(&["experiment", "--preset", "tiny", "--metrics-format", "json"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--metrics"));
+    let out = wikistale(&[
+        "experiment",
+        "--preset",
+        "tiny",
+        "--metrics",
+        "-",
+        "--metrics-format",
+        "yaml",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown metrics format"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_flag_works_on_other_subcommands() {
+    let dir = tmpdir("metrics-other");
+    let raw = dir.join("raw.wcube");
+    let metrics = dir.join("gen.json");
+    let out = wikistale(&[
+        "generate",
+        "--preset",
+        "tiny",
+        "--out",
+        raw.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let parsed = wikistale_obs::json::parse(&text).unwrap();
+    assert!(parsed.get("spans").and_then(|s| s.get("synth")).is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn ingest_parses_a_dump() {
     let dir = tmpdir("ingest");
     let xml = dir.join("dump.xml");

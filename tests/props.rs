@@ -180,6 +180,51 @@ proptest! {
     }
 }
 
+/// Pinned regression (tests/props.proptest-regressions): two same-day
+/// changes to one (entity, property) slot with different values. The cube
+/// constructor canonicalizes such duplicates to the last value written, so
+/// every composition law below must hold on the canonical form.
+#[test]
+fn regression_same_day_same_slot_duplicate_values() {
+    let mut b = ChangeCubeBuilder::new();
+    let entities: Vec<_> = (0..6)
+        .map(|i| {
+            b.entity(
+                &format!("e{i}"),
+                &format!("t{}", i % 3),
+                &format!("pg{}", i % 4),
+            )
+        })
+        .collect();
+    let props: Vec<_> = (0..5).map(|i| b.property(&format!("p{i}"))).collect();
+    let day = Date::from_ymd(1970, 3, 16).unwrap();
+    b.change(day, entities[3], props[1], "", ChangeKind::Create);
+    b.change(day, entities[3], props[1], "0", ChangeKind::Create);
+    let cube = b.finish();
+
+    // Last-value-wins canonicalization: one change survives, value "0".
+    assert_eq!(cube.num_changes(), 1);
+    assert_eq!(cube.value_text(cube.changes()[0].value), "0");
+
+    // Serialization round-trips the canonical form.
+    let back = binio::decode(&binio::encode(&cube)).unwrap();
+    assert_eq!(back.changes(), cube.changes());
+    assert_eq!(binio::encode(&back), binio::encode(&cube));
+
+    // Slice/merge partition reproduces the canonical cube.
+    for cut in [Date::EPOCH, day, day + 1] {
+        let left = slice(&cube, DateRange::new(Date::EPOCH - 10, cut));
+        let right = slice(&cube, DateRange::new(cut, Date::EPOCH + 2_000));
+        assert_eq!(left.num_changes() + right.num_changes(), cube.num_changes());
+        let merged = merge([&left, &right]).unwrap();
+        assert_eq!(merged.num_changes(), cube.num_changes());
+    }
+
+    // Self-merge is idempotent on the canonical form.
+    let merged = merge([&cube, &cube]).unwrap();
+    assert_eq!(merged.num_changes(), cube.num_changes());
+}
+
 /// Coarse-to-fine consistency: a field predicted in a 1-day window lies in
 /// exactly one 7-day window; truth sets respect the same nesting (a change
 /// day marks the containing window at every granularity).

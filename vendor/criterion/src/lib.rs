@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored stub
+//! provides the subset of criterion 0.5's API the workspace benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup`] (`bench_function`, `sample_size`, `finish`),
+//! [`Bencher`] (`iter`, `iter_batched`), [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up once,
+//! then timed over a fixed number of samples whose mean/min are printed.
+//! There is no statistical analysis, outlier rejection, or HTML report —
+//! the goal is that `cargo bench` compiles, runs, and produces comparable
+//! wall-clock numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches written against criterion's `black_box` still work.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 10;
+
+/// How batched inputs are grouped. Only a hint upstream; ignored here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Runs the measured closure and accumulates elapsed time.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            elapsed: Vec::new(),
+        }
+    }
+
+    /// Time `routine` once per sample (plus one untimed warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.elapsed.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let total: Duration = self.elapsed.iter().sum();
+        let mean = total / self.elapsed.len() as u32;
+        let min = self.elapsed.iter().min().copied().unwrap_or_default();
+        println!(
+            "{name:<50} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+            mean,
+            min,
+            self.elapsed.len()
+        );
+    }
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark. The name is anything string-like, matching
+    /// upstream criterion's `IntoBenchmarkId` flexibility (`&str`, `String`).
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(name.as_ref());
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, name.as_ref()));
+        self
+    }
+
+    /// End the group. (Reports are printed eagerly; this is a no-op kept
+    /// for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group: `criterion_group!(benches, bench_a, bench_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_samples() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // one warm-up + DEFAULT_SAMPLES timed runs
+        assert_eq!(calls, 1 + DEFAULT_SAMPLES as u32);
+    }
+
+    #[test]
+    fn groups_honor_sample_size_and_batching() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 16]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 4);
+        assert_eq!(runs, 4);
+    }
+}

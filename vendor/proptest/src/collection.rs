@@ -1,0 +1,131 @@
+//! Collection strategies: `vec`, `btree_set`, `hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
+use std::ops::Range;
+
+/// A `Vec` of `len ∈ size` elements from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(!size.is_empty(), "empty size range");
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` with up to `size.end - 1` elements (at least `size.start`
+/// distinct draws are attempted; duplicates may make the set smaller, as
+/// upstream's rejection sampling also cannot exceed the element domain).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(!size.is_empty(), "empty size range");
+    BTreeSetStrategy { element, size }
+}
+
+/// The strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let target = self.size.start + rng.below(span) as usize;
+        let mut set = BTreeSet::new();
+        let mut attempts = 0;
+        while set.len() < target && attempts < 4 * target + 16 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// A `HashSet` analogue of [`btree_set`].
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    assert!(!size.is_empty(), "empty size range");
+    HashSetStrategy { element, size }
+}
+
+/// The strategy returned by [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let target = self.size.start + rng.below(span) as usize;
+        let mut set = HashSet::new();
+        let mut attempts = 0;
+        while set.len() < target && attempts < 4 * target + 16 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_and_nesting() {
+        let strat = vec(vec(0u32..8, 0..6), 1..25);
+        for case in 0..50 {
+            let rows = strat.generate(&mut TestRng::for_case("nest", case));
+            assert!((1..25).contains(&rows.len()));
+            assert!(rows.iter().all(|r| r.len() < 6));
+            assert!(rows.iter().flatten().all(|&v| v < 8));
+        }
+    }
+
+    #[test]
+    fn sets_respect_bounds_and_uniqueness() {
+        let strat = btree_set(0u32..50, 0..10);
+        for case in 0..50 {
+            let set = strat.generate(&mut TestRng::for_case("set", case));
+            assert!(set.len() < 10);
+            assert!(set.iter().all(|&v| v < 50));
+        }
+        let hs = hash_set(0u32..4, 0..4).generate(&mut TestRng::for_case("hs", 0));
+        assert!(hs.len() < 4);
+    }
+}

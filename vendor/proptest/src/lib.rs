@@ -1,0 +1,163 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored stub
+//! implements the subset of the proptest 1.x API the workspace uses:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - [`strategy::Strategy`] with `prop_map`, ranges, tuples, and
+//!   string-regex strategies (`".*"`, `"[a-z0-9]{0,6}"`, …),
+//! - [`collection::vec`] / [`collection::btree_set`] /
+//!   [`collection::hash_set`],
+//! - [`test_runner::ProptestConfig`] (`with_cases`, `cases`).
+//!
+//! Differences from upstream, deliberately accepted for an offline build:
+//! cases are generated from a seed derived from the test name (so runs are
+//! deterministic and reproducible), there is **no shrinking** (the failing
+//! input is printed verbatim), and `proptest-regressions` files are not
+//! replayed (regressions worth pinning should be written as explicit unit
+//! tests — see `tests/props.rs` in the workspace for examples).
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a property body. Panics (no shrink phase exists).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Discard the current case when `cond` is false. Without a rejection
+/// budget in the stub, the case is simply skipped.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// The `proptest! { ... }` block: runs each contained `#[test] fn` over
+/// `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:tt in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = $crate::test_runner::resolve_cases(config.cases);
+            for case in 0..cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let __inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                    $(&$arg),+
+                );
+                let __guard = $crate::test_runner::FailureReport::new(
+                    stringify!($name),
+                    case,
+                    __inputs,
+                );
+                { $body }
+                __guard.disarm();
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            (a, b) in (0u32..10, -5i32..5),
+            x in 0.0f64..1.0,
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn mapped_strategies_apply_function(v in (1u32..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(v < 200);
+        }
+
+        #[test]
+        fn collections_respect_size(
+            xs in crate::collection::vec(0u8..255, 3..7),
+            set in crate::collection::btree_set(0u32..1000, 0..20),
+        ) {
+            prop_assert!((3..7).contains(&xs.len()));
+            prop_assert!(set.len() < 20);
+        }
+
+        #[test]
+        fn string_regex_classes(s in "[a-z0-9]{0,6}") {
+            prop_assert!(s.len() <= 6);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = crate::collection::vec(0u64..1_000_000, 5..10);
+        let a = strat.generate(&mut TestRng::for_case("det", 3));
+        let b = strat.generate(&mut TestRng::for_case("det", 3));
+        let c = strat.generate(&mut TestRng::for_case("det", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

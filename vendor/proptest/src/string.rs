@@ -1,0 +1,201 @@
+//! A regex-lite string generator covering the patterns the workspace's
+//! property tests use: `.`, character classes with ranges (`[a-zA-Z0-9 _]`),
+//! and the quantifiers `{m,n}`, `{m}`, `*`, `+`, `?`. Unsupported syntax
+//! panics loudly rather than generating surprising strings.
+
+use crate::test_runner::TestRng;
+
+const STAR_MAX: u32 = 32;
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// `.` — any printable ASCII character.
+    Any,
+    /// An explicit alternative set, expanded from a class.
+    OneOf(Vec<char>),
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Any => (0x20 + rng.below(0x7F - 0x20) as u8) as char,
+            CharSet::OneOf(chars) => chars[rng.below(chars.len() as u64) as usize],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Element {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let elements = parse(pattern);
+    let mut out = String::new();
+    for el in &elements {
+        let n = el.min + rng.below((el.max - el.min + 1) as u64) as u32;
+        for _ in 0..n {
+            out.push(el.set.sample(rng));
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut elements = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                CharSet::Any
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let inner = &chars[i + 1..i + close];
+                i += close + 1;
+                CharSet::OneOf(expand_class(inner, pattern))
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                CharSet::OneOf(vec![c])
+            }
+            c if !"{}*+?|()".contains(c) => {
+                i += 1;
+                CharSet::OneOf(vec![c])
+            }
+            c => panic!("unsupported regex syntax {c:?} in pattern {pattern:?}"),
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        elements.push(Element { set, min, max });
+    }
+    elements
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (u32, u32) {
+    match chars.get(*i) {
+        Some('*') => {
+            *i += 1;
+            (0, STAR_MAX)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, STAR_MAX)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..*i + close].iter().collect();
+            *i += close + 1;
+            let parse_u32 = |s: &str| {
+                s.trim()
+                    .parse::<u32>()
+                    .unwrap_or_else(|_| panic!("bad quantifier {body:?} in {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse_u32(lo), parse_u32(hi)),
+                None => {
+                    let n = parse_u32(&body);
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn expand_class(inner: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        inner.first() != Some(&'^'),
+        "negated classes unsupported in pattern {pattern:?}"
+    );
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < inner.len() {
+        let c = inner[i];
+        let c = if c == '\\' {
+            i += 1;
+            *inner
+                .get(i)
+                .unwrap_or_else(|| panic!("dangling escape in class of {pattern:?}"))
+        } else {
+            c
+        };
+        if inner.get(i + 1) == Some(&'-') && i + 2 < inner.len() {
+            let hi = inner[i + 2];
+            assert!(c <= hi, "inverted range in class of {pattern:?}");
+            for v in c as u32..=hi as u32 {
+                chars.push(char::from_u32(v).unwrap());
+            }
+            i += 3;
+        } else {
+            chars.push(c);
+            i += 1;
+        }
+    }
+    assert!(!chars.is_empty(), "empty class in pattern {pattern:?}");
+    chars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string-tests", 0)
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-zA-Z0-9 &<>\"']{1,20}", &mut r);
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " &<>\"'".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_star_is_printable_ascii() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_from_pattern(".*", &mut r);
+            assert!(s.chars().count() <= STAR_MAX as usize);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_counts_and_literals() {
+        let mut r = rng();
+        let s = generate_from_pattern("ab{3}c", &mut r);
+        assert_eq!(s, "abbbc");
+        let s = generate_from_pattern("x?", &mut r);
+        assert!(s.is_empty() || s == "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn alternation_is_rejected() {
+        generate_from_pattern("a|b", &mut rng());
+    }
+}

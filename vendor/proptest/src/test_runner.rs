@@ -1,0 +1,128 @@
+//! Case scheduling, deterministic RNG, and failure reporting.
+
+/// Per-block configuration. Only `cases` is consulted; the other knobs of
+/// upstream proptest have no stub equivalent.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The configured case count, overridable with `PROPTEST_CASES`.
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
+/// Deterministic per-case RNG (xoshiro256++ seeded with SplitMix64 over a
+/// hash of the test name and the case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// The RNG for case number `case` of test `name`. Same inputs, same
+    /// stream — failures reproduce across runs without a regressions file.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut x = h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in [0, 1).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in [0, bound); 0 for a zero bound.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Prints the generated inputs if the property body panics, so failures
+/// are reproducible by hand even without shrinking.
+pub struct FailureReport {
+    name: &'static str,
+    case: u32,
+    inputs: String,
+    armed: bool,
+}
+
+impl FailureReport {
+    /// Arm a report for one case.
+    pub fn new(name: &'static str, case: u32, inputs: String) -> FailureReport {
+        FailureReport {
+            name,
+            case,
+            inputs,
+            armed: true,
+        }
+    }
+
+    /// The case passed; do not report.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for FailureReport {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest stub: {} failed at case {} with inputs:\n{}",
+                self.name, self.case, self.inputs
+            );
+        }
+    }
+}
