@@ -1,10 +1,12 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use std::path::Path;
+use crate::error::CliError;
+use std::path::{Path, PathBuf};
 use wikistale_apriori::Support;
+use wikistale_core::checkpoint::{self, CheckpointManifest};
 use wikistale_core::experiment::{
-    run_paper_evaluation, run_paper_evaluation_serial, ExperimentConfig,
+    run_paper_evaluation, run_paper_evaluation_resumable, ExperimentConfig,
 };
 use wikistale_core::filters::FilterPipeline;
 use wikistale_core::predictors::DistanceNorm;
@@ -12,13 +14,15 @@ use wikistale_core::report;
 use wikistale_core::split::EvalSplit;
 use wikistale_synth::SynthConfig;
 use wikistale_wikicube::{binio, ChangeCube, CorpusStats, CubeIndex, Date, DateRange};
+use wikistale_wikitext::{ErrorBudget, PageStream};
 
 const USAGE: &str = "\
 wikistale — detect stale data in Wikipedia infoboxes (EDBT 2023 reproduction)
 
 USAGE:
   wikistale generate --out <cube> [--preset tiny|small|medium] [--seed N] [--scale F]
-  wikistale ingest   --xml <dump.xml> --out <cube>
+  wikistale ingest   --xml <dump.xml> --out <cube> [--lossy] [--error-budget PCT]
+                     [--quarantine <report.json>]
   wikistale stats    --in <cube>
   wikistale filter   --in <cube> --out <cube> [--no-min-changes]
   wikistale evaluate --in <filtered-cube> [--vs-paper] [--theta F]
@@ -33,21 +37,34 @@ USAGE:
   wikistale experiment [--preset tiny|small|medium] [--seed N] [--scale F]
                      [--no-min-changes] [--vs-paper] [--theta F]
                      [--support F] [--confidence F] [--day-count-norm]
+                     [--checkpoint-dir <dir>] [--resume]
 
 Every subcommand additionally accepts:
   --metrics <path>            write a pipeline-stage metrics report
                               (use `-` for stdout)
   --metrics-format json|table report format (default json)
 
+`ingest --lossy` quarantines malformed pages instead of aborting; a
+summary of everything skipped goes to stderr, the full report to
+`--quarantine <path>` as JSON. `--error-budget 0.5` aborts once more
+than 0.5 % of pages were quarantined (implies --lossy).
+
 `experiment` runs the whole pipeline — generate, filter, train, predict,
 evaluate — serially in one process, so the metrics stage tree nests and
-its top-level stage times sum to the wall time.
+its top-level stage times sum to the wall time. With
+`--checkpoint-dir <dir>` each completed stage is recorded there
+atomically, and `--resume` picks up after a crash, skipping verified
+finished work; results are identical to an uninterrupted run.
 
 Cube files use the versioned wikicube binary format (.wcube).
+
+EXIT CODES:
+  0 success   1 other failure       2 usage error
+  3 i/o error 4 corrupt input       5 error budget exceeded
 ";
 
-/// Dispatch `argv`; returns an error message for the user on failure.
-pub fn run(argv: &[String]) -> Result<(), String> {
+/// Dispatch `argv`; returns a classified error for the user on failure.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv);
     // Each invocation reports its own pipeline run (tests call `run`
     // several times per process).
@@ -70,7 +87,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("anomalies") => cmd_anomalies(&args),
         Some("top") => cmd_top(&args),
         Some("figures") => cmd_figures(&args),
-        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
     };
     if result.is_ok() {
         write_metrics(&args)?;
@@ -78,7 +97,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     result
 }
 
-fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), String> {
+fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), CliError> {
     // The metrics flags are accepted by every subcommand.
     let mut known: Vec<&str> = known.to_vec();
     known.extend(["metrics", "metrics-format"]);
@@ -86,17 +105,30 @@ fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), String> {
     if unknown.is_empty() {
         Ok(())
     } else {
-        Err(format!("unknown flag(s): --{}", unknown.join(", --")))
+        Err(CliError::Usage(format!(
+            "unknown flag(s): --{}",
+            unknown.join(", --")
+        )))
     }
+}
+
+/// A required flag's value, as a usage error when missing.
+fn require<'a>(args: &'a Args, name: &str) -> Result<&'a str, CliError> {
+    args.require(name).map_err(CliError::Usage)
+}
+
+/// An optional typed flag, as a usage error when unparseable.
+fn get_parsed<T: std::str::FromStr>(args: &Args, name: &str) -> Result<Option<T>, CliError> {
+    args.get_parsed::<T>(name).map_err(CliError::Usage)
 }
 
 /// Honor `--metrics <path>` / `--metrics-format {json,table}` after a
 /// successful command: render the global registry and write it out
 /// (`-` or an empty value prints to stdout).
-fn write_metrics(args: &Args) -> Result<(), String> {
+fn write_metrics(args: &Args) -> Result<(), CliError> {
     let Some(path) = args.get("metrics") else {
         if args.has("metrics-format") {
-            return Err("--metrics-format needs --metrics".into());
+            return Err(CliError::Usage("--metrics-format needs --metrics".into()));
         }
         return Ok(());
     };
@@ -104,48 +136,59 @@ fn write_metrics(args: &Args) -> Result<(), String> {
     let rendered = match args.get("metrics-format").unwrap_or("json") {
         "json" => registry.render_json(),
         "table" => registry.render_table(),
-        other => return Err(format!("unknown metrics format {other:?} (json|table)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown metrics format {other:?} (json|table)"
+            )))
+        }
     };
     if path.is_empty() || path == "-" {
         print!("{rendered}");
     } else {
-        std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, &rendered)
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
         println!("wrote metrics → {path}");
     }
     Ok(())
 }
 
-fn load_cube(path: &str) -> Result<ChangeCube, String> {
-    binio::read_from_path(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))
+fn load_cube(path: &str) -> Result<ChangeCube, CliError> {
+    binio::read_from_path(Path::new(path))
+        .map_err(|e| CliError::from_cube(&format!("cannot read {path}"), e))
 }
 
-fn save_cube(cube: &ChangeCube, path: &str) -> Result<(), String> {
-    binio::write_to_path(cube, Path::new(path)).map_err(|e| format!("cannot write {path}: {e}"))
+fn save_cube(cube: &ChangeCube, path: &str) -> Result<(), CliError> {
+    binio::write_to_path(cube, Path::new(path))
+        .map_err(|e| CliError::from_cube(&format!("cannot write {path}"), e))
 }
 
-fn synth_config(args: &Args) -> Result<SynthConfig, String> {
+fn synth_config(args: &Args) -> Result<SynthConfig, CliError> {
     let mut config = match args.get("preset").unwrap_or("small") {
         "tiny" => SynthConfig::tiny(),
         "small" => SynthConfig::small(),
         "medium" => SynthConfig::medium(),
-        other => return Err(format!("unknown preset {other:?} (tiny|small|medium)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown preset {other:?} (tiny|small|medium)"
+            )))
+        }
     };
-    if let Some(seed) = args.get_parsed::<u64>("seed")? {
+    if let Some(seed) = get_parsed::<u64>(args, "seed")? {
         config.seed = seed;
     }
-    if let Some(scale) = args.get_parsed::<f64>("scale")? {
+    if let Some(scale) = get_parsed::<f64>(args, "scale")? {
         if scale <= 0.0 {
-            return Err("--scale must be positive".into());
+            return Err(CliError::Usage("--scale must be positive".into()));
         }
         config = config.scaled(scale);
     }
     Ok(config)
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
+fn cmd_generate(args: &Args) -> Result<(), CliError> {
     reject_unknown(args, &["preset", "seed", "scale", "out"])?;
     let config = synth_config(args)?;
-    let out = args.require("out")?;
+    let out = require(args, "out")?;
     let corpus = wikistale_synth::try_generate(&config)?;
     save_cube(&corpus.cube, out)?;
     println!(
@@ -161,23 +204,90 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_ingest(args: &Args) -> Result<(), String> {
-    reject_unknown(args, &["xml", "out", "all-namespaces"])?;
-    let xml_path = args.require("xml")?;
-    let out = args.require("out")?;
+fn cmd_ingest(args: &Args) -> Result<(), CliError> {
+    reject_unknown(
+        args,
+        &[
+            "xml",
+            "out",
+            "all-namespaces",
+            "lossy",
+            "error-budget",
+            "quarantine",
+        ],
+    )?;
+    let xml_path = require(args, "xml")?;
+    let out = require(args, "out")?;
     let all_namespaces = args.has("all-namespaces");
+    let budget_pct = get_parsed::<f64>(args, "error-budget")?;
+    if let Some(pct) = budget_pct {
+        if !(0.0..=100.0).contains(&pct) {
+            return Err(CliError::Usage(
+                "--error-budget must be a percentage in [0, 100]".into(),
+            ));
+        }
+    }
+    let lossy = args.has("lossy") || budget_pct.is_some();
+    if args.has("quarantine") && !lossy {
+        return Err(CliError::Usage(
+            "--quarantine needs --lossy or --error-budget".into(),
+        ));
+    }
+
     // Stream page by page: full-history dumps do not fit in memory.
-    let file = std::fs::File::open(xml_path).map_err(|e| format!("cannot read {xml_path}: {e}"))?;
+    let file = std::fs::File::open(xml_path)
+        .map_err(|e| CliError::Io(format!("cannot read {xml_path}: {e}")))?;
+    let reader = std::io::BufReader::new(file);
+    let mut stream = match budget_pct {
+        Some(pct) => PageStream::lossy_with_budget(reader, ErrorBudget::fraction(pct / 100.0)),
+        None if lossy => PageStream::lossy(reader),
+        None => PageStream::new(reader),
+    };
     let mut acc = wikistale_wikitext::diff::CubeAccumulator::new();
     let mut skipped = 0usize;
-    for page in wikistale_wikitext::PageStream::new(std::io::BufReader::new(file)) {
-        let page = page.map_err(|e| e.to_string())?;
+    let mut failure: Option<CliError> = None;
+    for page in &mut stream {
+        let page = match page {
+            Ok(page) => page,
+            Err(e) => {
+                failure = Some(CliError::from_stream(xml_path, e));
+                break;
+            }
+        };
         if all_namespaces || wikistale_wikitext::diff::is_article_title(&page.title) {
             acc.add_page(&page);
         } else {
             skipped += 1;
         }
     }
+
+    // The quarantine summary goes out even (especially) when the run
+    // aborted on an exhausted budget: that is the post-mortem.
+    let report = stream.into_quarantine();
+    if !report.is_clean() {
+        eprintln!("{}", report.summary());
+        for entry in report.entries().iter().take(5) {
+            eprintln!(
+                "  {} @ byte {} (+{}): {}",
+                entry.title.as_deref().unwrap_or("<unknown page>"),
+                entry.byte_offset,
+                entry.byte_len,
+                entry.error
+            );
+        }
+        if report.entries().len() > 5 {
+            eprintln!("  … ({} entries total)", report.entries().len());
+        }
+    }
+    if let Some(qpath) = args.get("quarantine") {
+        std::fs::write(qpath, report.render_json())
+            .map_err(|e| CliError::Io(format!("cannot write {qpath}: {e}")))?;
+        eprintln!("wrote quarantine report → {qpath}");
+    }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+
     let pages = acc.pages_seen();
     let cube = acc.finish();
     save_cube(&cube, out)?;
@@ -191,9 +301,9 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
+fn cmd_stats(args: &Args) -> Result<(), CliError> {
     reject_unknown(args, &["in"])?;
-    let cube = load_cube(args.require("in")?)?;
+    let cube = load_cube(require(args, "in")?)?;
     let stats = CorpusStats::compute(&cube);
     println!("changes        {}", stats.total_changes);
     println!(
@@ -234,10 +344,10 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_filter(args: &Args) -> Result<(), String> {
+fn cmd_filter(args: &Args) -> Result<(), CliError> {
     reject_unknown(args, &["in", "out", "no-min-changes"])?;
-    let cube = load_cube(args.require("in")?)?;
-    let out = args.require("out")?;
+    let cube = load_cube(require(args, "in")?)?;
+    let out = require(args, "out")?;
     let pipeline = if args.has("no-min-changes") {
         FilterPipeline::without_min_changes()
     } else {
@@ -262,24 +372,24 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn experiment_config(args: &Args) -> Result<ExperimentConfig, String> {
+fn experiment_config(args: &Args) -> Result<ExperimentConfig, CliError> {
     let mut config = ExperimentConfig::default();
-    if let Some(theta) = args.get_parsed::<f64>("theta")? {
+    if let Some(theta) = get_parsed::<f64>(args, "theta")? {
         config.field_corr.theta = theta;
     }
     if args.has("day-count-norm") {
         config.field_corr.norm = DistanceNorm::DayCount;
     }
-    if let Some(support) = args.get_parsed::<f64>("support")? {
+    if let Some(support) = get_parsed::<f64>(args, "support")? {
         config.assoc.apriori.min_support = Support::Fraction(support);
     }
-    if let Some(confidence) = args.get_parsed::<f64>("confidence")? {
+    if let Some(confidence) = get_parsed::<f64>(args, "confidence")? {
         config.assoc.apriori.min_confidence = confidence;
     }
     Ok(config)
 }
 
-fn cmd_evaluate(args: &Args) -> Result<(), String> {
+fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
     reject_unknown(
         args,
         &[
@@ -291,12 +401,13 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
             "day-count-norm",
         ],
     )?;
-    let cube = load_cube(args.require("in")?)?;
+    let cube = load_cube(require(args, "in")?)?;
     let span = cube
         .time_span()
-        .ok_or("cube is empty — nothing to evaluate")?;
-    let split = EvalSplit::for_span(span)
-        .ok_or("cube spans less than the two years needed for validation + test")?;
+        .ok_or_else(|| CliError::Other("cube is empty — nothing to evaluate".into()))?;
+    let split = EvalSplit::for_span(span).ok_or_else(|| {
+        CliError::Other("cube spans less than the two years needed for validation + test".into())
+    })?;
     let config = experiment_config(args)?;
     let results = run_paper_evaluation(&cube, &split, &config);
     if args.has("vs-paper") {
@@ -309,7 +420,60 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_experiment(args: &Args) -> Result<(), String> {
+/// Exit code of the `--crash-after` fault-injection hook: distinct from
+/// every real failure code so the chaos tests can tell a simulated crash
+/// from an actual error.
+pub const CRASH_EXIT_CODE: u8 = 42;
+
+/// In a checkpointed experiment, obtain the cube of an
+/// artifact-producing stage: reuse the verified checkpoint artifact when
+/// resuming, otherwise compute it and (when checkpointing) persist it
+/// atomically and record it in the manifest.
+fn stage_cube(
+    ckpt_dir: Option<&Path>,
+    manifest: &mut CheckpointManifest,
+    resume: bool,
+    crash_after: Option<&str>,
+    name: &str,
+    compute: impl FnOnce() -> Result<ChangeCube, CliError>,
+) -> Result<ChangeCube, CliError> {
+    if let (Some(dir), true) = (ckpt_dir, resume) {
+        if let Some(bytes) = manifest
+            .verified_stage_bytes(dir, name)
+            .map_err(CliError::from_checkpoint)?
+        {
+            let cube = binio::decode(&bytes)
+                .map_err(|e| CliError::from_cube(&format!("checkpoint stage {name}"), e))?;
+            eprintln!("resume: reusing checkpointed {name} stage");
+            return Ok(cube);
+        }
+    }
+    let cube = compute()?;
+    if let Some(dir) = ckpt_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Io(format!("cannot create {}: {e}", dir.display())))?;
+        let file = format!("{name}.wcube");
+        let bytes = binio::encode(&cube);
+        binio::write_bytes_atomic(&dir.join(&file), &bytes)
+            .map_err(|e| CliError::Io(format!("cannot write checkpoint {file}: {e}")))?;
+        manifest.record_stage(name, &file, &bytes);
+        manifest.save(dir).map_err(CliError::from_checkpoint)?;
+    }
+    maybe_crash(crash_after, name);
+    Ok(cube)
+}
+
+/// The `--crash-after <stage>` hook: once the named stage has completed
+/// *and its checkpoint is durable*, die abruptly — the closest a test
+/// can get to yanking the power cord at the worst moment.
+fn maybe_crash(crash_after: Option<&str>, completed: &str) {
+    if crash_after == Some(completed) {
+        eprintln!("simulated crash after stage {completed:?}");
+        std::process::exit(i32::from(CRASH_EXIT_CODE));
+    }
+}
+
+fn cmd_experiment(args: &Args) -> Result<(), CliError> {
     reject_unknown(
         args,
         &[
@@ -322,26 +486,81 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
             "support",
             "confidence",
             "day-count-norm",
+            "checkpoint-dir",
+            "resume",
+            "crash-after",
         ],
     )?;
     let config = synth_config(args)?;
-    let wall = std::time::Instant::now();
-    let corpus = wikistale_synth::try_generate(&config)?;
-    let pipeline = if args.has("no-min-changes") {
-        FilterPipeline::without_min_changes()
-    } else {
-        FilterPipeline::paper()
+    let no_min_changes = args.has("no-min-changes");
+    let exp_config = experiment_config(args)?;
+    let ckpt_dir = args.get("checkpoint-dir").map(PathBuf::from);
+    let resume = args.has("resume");
+    let crash_after = args.get("crash-after");
+    if (resume || crash_after.is_some()) && ckpt_dir.is_none() {
+        return Err(CliError::Usage(
+            "--resume / --crash-after need --checkpoint-dir".into(),
+        ));
+    }
+
+    // The checkpoint is bound to the exact configuration; the Debug
+    // formats cover every tunable (seed, scale, thresholds, …).
+    let fp = checkpoint::fingerprint(&format!(
+        "{config:?}|no-min-changes={no_min_changes}|{exp_config:?}"
+    ));
+    let mut manifest = match (&ckpt_dir, resume) {
+        (Some(dir), true) => CheckpointManifest::load_expecting(dir, &fp)
+            .map_err(CliError::from_checkpoint)?
+            .unwrap_or_else(|| CheckpointManifest::new(&fp)),
+        _ => CheckpointManifest::new(&fp),
     };
-    let (filtered, _report) = pipeline.apply(&corpus.cube);
+
+    let wall = std::time::Instant::now();
+    let raw = stage_cube(
+        ckpt_dir.as_deref(),
+        &mut manifest,
+        resume,
+        crash_after,
+        "generate",
+        || Ok(wikistale_synth::try_generate(&config)?.cube),
+    )?;
+    let filtered = stage_cube(
+        ckpt_dir.as_deref(),
+        &mut manifest,
+        resume,
+        crash_after,
+        "filter",
+        || {
+            let pipeline = if no_min_changes {
+                FilterPipeline::without_min_changes()
+            } else {
+                FilterPipeline::paper()
+            };
+            Ok(pipeline.apply(&raw).0)
+        },
+    )?;
+    drop(raw);
     let span = filtered
         .time_span()
-        .ok_or("filtered cube is empty — nothing to evaluate")?;
-    let split = EvalSplit::for_span(span)
-        .ok_or("corpus spans less than the two years needed for validation + test")?;
-    let exp_config = experiment_config(args)?;
+        .ok_or_else(|| CliError::Other("filtered cube is empty — nothing to evaluate".into()))?;
+    let split = EvalSplit::for_span(span).ok_or_else(|| {
+        CliError::Other("corpus spans less than the two years needed for validation + test".into())
+    })?;
     // Serial on purpose: the metrics stage tree then nests under one
     // thread and its top-level stage times sum to the wall time.
-    let results = run_paper_evaluation_serial(&filtered, &split, &exp_config);
+    let results = run_paper_evaluation_resumable(
+        &filtered,
+        &split,
+        &exp_config,
+        &mut manifest,
+        &mut |stage, manifest| {
+            if let Some(dir) = &ckpt_dir {
+                manifest.save(dir).map_err(|e| e.to_string())?;
+            }
+            maybe_crash(crash_after, stage);
+            Ok(())
+        },
+    )?;
     // Reference point for the stage breakdown: generate → evaluate,
     // excluding report rendering below.
     wikistale_obs::MetricsRegistry::global()
@@ -355,7 +574,7 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_monitor(args: &Args) -> Result<(), String> {
+fn cmd_monitor(args: &Args) -> Result<(), CliError> {
     reject_unknown(
         args,
         &[
@@ -368,23 +587,24 @@ fn cmd_monitor(args: &Args) -> Result<(), String> {
             "limit",
         ],
     )?;
-    let cube = load_cube(args.require("in")?)?;
-    let at: Date = args
-        .require("at")?
+    let cube = load_cube(require(args, "in")?)?;
+    let at: Date = require(args, "at")?
         .parse()
-        .map_err(|e| format!("--at: {e}"))?;
-    let window: u32 = args.get_parsed::<u32>("window")?.unwrap_or(7);
+        .map_err(|e| CliError::Usage(format!("--at: {e}")))?;
+    let window: u32 = get_parsed::<u32>(args, "window")?.unwrap_or(7);
     if window == 0 {
-        return Err("--window must be positive".into());
+        return Err(CliError::Usage("--window must be positive".into()));
     }
-    let limit: usize = args.get_parsed::<usize>("limit")?.unwrap_or(25);
-    let span = cube.time_span().ok_or("cube is empty")?;
+    let limit: usize = get_parsed::<usize>(args, "limit")?.unwrap_or(25);
+    let span = cube
+        .time_span()
+        .ok_or_else(|| CliError::Other("cube is empty".into()))?;
     let window_range = DateRange::new(at - window as i32, at);
     if window_range.start() <= span.start() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "--at {at} leaves no history before the window (corpus starts {})",
             span.start()
-        ));
+        )));
     }
 
     // The deployment facade: filter (idempotent on already-filtered
@@ -401,7 +621,7 @@ fn cmd_monitor(args: &Args) -> Result<(), String> {
         window_range.start(),
         &detector_config,
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::Other(e.to_string()))?;
     let flags = detector.flag(window_range);
     println!(
         "{} stale-candidate banners in [{} .. {}) — showing up to {limit}:",
@@ -415,13 +635,14 @@ fn cmd_monitor(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_export(args: &Args) -> Result<(), String> {
+fn cmd_export(args: &Args) -> Result<(), CliError> {
     reject_unknown(args, &["in", "xml"])?;
-    let cube = load_cube(args.require("in")?)?;
-    let xml_path = args.require("xml")?;
+    let cube = load_cube(require(args, "in")?)?;
+    let xml_path = require(args, "xml")?;
     let pages = wikistale_wikitext::cube_to_dump(&cube);
     let xml = wikistale_wikitext::render_export(&pages);
-    std::fs::write(xml_path, xml).map_err(|e| format!("cannot write {xml_path}: {e}"))?;
+    std::fs::write(xml_path, xml)
+        .map_err(|e| CliError::Io(format!("cannot write {xml_path}: {e}")))?;
     println!(
         "exported {} changes as {} pages → {xml_path}",
         cube.num_changes(),
@@ -430,21 +651,19 @@ fn cmd_export(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_slice(args: &Args) -> Result<(), String> {
+fn cmd_slice(args: &Args) -> Result<(), CliError> {
     reject_unknown(args, &["in", "from", "to", "out"])?;
-    let cube = load_cube(args.require("in")?)?;
-    let from: Date = args
-        .require("from")?
+    let cube = load_cube(require(args, "in")?)?;
+    let from: Date = require(args, "from")?
         .parse()
-        .map_err(|e| format!("--from: {e}"))?;
-    let to: Date = args
-        .require("to")?
+        .map_err(|e| CliError::Usage(format!("--from: {e}")))?;
+    let to: Date = require(args, "to")?
         .parse()
-        .map_err(|e| format!("--to: {e}"))?;
+        .map_err(|e| CliError::Usage(format!("--to: {e}")))?;
     if to <= from {
-        return Err("--to must be after --from".into());
+        return Err(CliError::Usage("--to must be after --from".into()));
     }
-    let out = args.require("out")?;
+    let out = require(args, "out")?;
     let sliced = wikistale_wikicube::slice(&cube, DateRange::new(from, to));
     save_cube(&sliced, out)?;
     println!(
@@ -455,9 +674,9 @@ fn cmd_slice(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_merge(args: &Args) -> Result<(), String> {
+fn cmd_merge(args: &Args) -> Result<(), CliError> {
     reject_unknown(args, &["out"])?;
-    let out = args.require("out")?;
+    let out = require(args, "out")?;
     let mut inputs = Vec::new();
     let mut i = 1;
     while let Some(path) = args.positional(i) {
@@ -465,9 +684,12 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
         i += 1;
     }
     if inputs.len() < 2 {
-        return Err("merge needs at least two input cubes".into());
+        return Err(CliError::Usage(
+            "merge needs at least two input cubes".into(),
+        ));
     }
-    let merged = wikistale_wikicube::merge(inputs.iter()).map_err(|e| e.to_string())?;
+    let merged =
+        wikistale_wikicube::merge(inputs.iter()).map_err(|e| CliError::Other(e.to_string()))?;
     save_cube(&merged, out)?;
     println!(
         "merged {} cubes into {} changes over {} entities → {out}",
@@ -478,21 +700,25 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_top(args: &Args) -> Result<(), String> {
+fn cmd_top(args: &Args) -> Result<(), CliError> {
     reject_unknown(args, &["in", "by", "k", "kind"])?;
-    let cube = load_cube(args.require("in")?)?;
-    let k: usize = args.get_parsed::<usize>("k")?.unwrap_or(20);
+    let cube = load_cube(require(args, "in")?)?;
+    let k: usize = get_parsed::<usize>(args, "k")?.unwrap_or(20);
     let mut query = wikistale_wikicube::olap::CubeQuery::new(&cube);
     if let Some(kind) = args.get("kind") {
         query = query.of_kind(match kind {
             "create" => wikistale_wikicube::ChangeKind::Create,
             "update" => wikistale_wikicube::ChangeKind::Update,
             "delete" => wikistale_wikicube::ChangeKind::Delete,
-            other => return Err(format!("unknown kind {other:?} (create|update|delete)")),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown kind {other:?} (create|update|delete)"
+                )))
+            }
         });
     }
     use wikistale_wikicube::olap::top_k;
-    match args.require("by")? {
+    match require(args, "by")? {
         "template" => {
             for (id, n) in top_k(&query.counts_by_template(), k) {
                 println!("{n:>10}  {}", cube.template_name(id));
@@ -509,40 +735,44 @@ fn cmd_top(args: &Args) -> Result<(), String> {
             }
         }
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown dimension {other:?} (template|property|page)"
-            ))
+            )))
         }
     }
     Ok(())
 }
 
-fn cmd_figures(args: &Args) -> Result<(), String> {
+fn cmd_figures(args: &Args) -> Result<(), CliError> {
     reject_unknown(args, &["in", "out-dir"])?;
-    let cube = load_cube(args.require("in")?)?;
-    let out_dir = std::path::Path::new(args.require("out-dir")?);
+    let cube = load_cube(require(args, "in")?)?;
+    let out_dir = std::path::Path::new(require(args, "out-dir")?);
     std::fs::create_dir_all(out_dir)
-        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
-    let span = cube.time_span().ok_or("cube is empty")?;
-    let split = EvalSplit::for_span(span)
-        .ok_or("cube spans less than the two years needed for validation + test")?;
+        .map_err(|e| CliError::Io(format!("cannot create {}: {e}", out_dir.display())))?;
+    let span = cube
+        .time_span()
+        .ok_or_else(|| CliError::Other("cube is empty".into()))?;
+    let split = EvalSplit::for_span(span).ok_or_else(|| {
+        CliError::Other("cube spans less than the two years needed for validation + test".into())
+    })?;
     let results = run_paper_evaluation(&cube, &split, &ExperimentConfig::default());
     let f3 = out_dir.join("figure3.svg");
     std::fs::write(&f3, wikistale_core::figures::figure3_svg(&results))
-        .map_err(|e| format!("cannot write {}: {e}", f3.display()))?;
+        .map_err(|e| CliError::Io(format!("cannot write {}: {e}", f3.display())))?;
     println!("wrote {}", f3.display());
     if let Some(svg) = wikistale_core::figures::figure4_svg(&results) {
         let f4 = out_dir.join("figure4.svg");
-        std::fs::write(&f4, svg).map_err(|e| format!("cannot write {}: {e}", f4.display()))?;
+        std::fs::write(&f4, svg)
+            .map_err(|e| CliError::Io(format!("cannot write {}: {e}", f4.display())))?;
         println!("wrote {}", f4.display());
     }
     Ok(())
 }
 
-fn cmd_anomalies(args: &Args) -> Result<(), String> {
+fn cmd_anomalies(args: &Args) -> Result<(), CliError> {
     reject_unknown(args, &["in", "limit"])?;
-    let cube = load_cube(args.require("in")?)?;
-    let limit: usize = args.get_parsed::<usize>("limit")?.unwrap_or(25);
+    let cube = load_cube(require(args, "in")?)?;
+    let limit: usize = get_parsed::<usize>(args, "limit")?.unwrap_or(25);
     let index = CubeIndex::build(&cube);
     let anomalies = wikistale_core::find_counter_anomalies(
         &cube,
@@ -574,7 +804,7 @@ fn cmd_anomalies(args: &Args) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    fn run_words(words: &[&str]) -> Result<(), String> {
+    fn run_words(words: &[&str]) -> Result<(), CliError> {
         run(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
@@ -583,21 +813,74 @@ mod tests {
         assert!(run_words(&[]).is_ok());
         assert!(run_words(&["help"]).is_ok());
         let err = run_words(&["frobnicate"]).unwrap_err();
-        assert!(err.contains("unknown command"));
+        assert!(err.to_string().contains("unknown command"));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
     fn unknown_flags_are_rejected() {
         let err = run_words(&["generate", "--ouput", "x"]).unwrap_err();
-        assert!(err.contains("--ouput"), "{err}");
+        assert!(err.to_string().contains("--ouput"), "{err}");
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
     fn generate_requires_out() {
         let err = run_words(&["generate", "--preset", "tiny"]).unwrap_err();
-        assert!(err.contains("--out"));
+        assert!(err.to_string().contains("--out"));
         let err = run_words(&["generate", "--preset", "nope", "--out", "/tmp/x"]).unwrap_err();
-        assert!(err.contains("unknown preset"));
+        assert!(err.to_string().contains("unknown preset"));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn missing_input_is_an_io_error() {
+        let err = run_words(&["evaluate", "--in", "/nonexistent/x.wcube"]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+    }
+
+    #[test]
+    fn corrupt_input_is_a_corruption_error() {
+        let dir = std::env::temp_dir().join("wikistale-cli-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.wcube");
+        std::fs::write(&bad, b"WCUBE\0\0\0garbage that is not a cube").unwrap();
+        let err = run_words(&["stats", "--in", bad.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_flags_need_each_other() {
+        let err = run_words(&["experiment", "--preset", "tiny", "--resume"]).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint-dir"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn lossy_ingest_flags_validate() {
+        let err = run_words(&[
+            "ingest",
+            "--xml",
+            "/nonexistent.xml",
+            "--out",
+            "/tmp/x.wcube",
+            "--error-budget",
+            "150",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("percentage"), "{err}");
+        let err = run_words(&[
+            "ingest",
+            "--xml",
+            "/nonexistent.xml",
+            "--out",
+            "/tmp/x.wcube",
+            "--quarantine",
+            "/tmp/q.json",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--lossy"), "{err}");
     }
 
     #[test]
@@ -638,6 +921,92 @@ mod tests {
     }
 
     #[test]
+    fn lossy_ingest_quarantines_and_writes_report() {
+        let dir = std::env::temp_dir().join("wikistale-cli-lossy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let xml = dir.join("dump.xml");
+        let out = dir.join("out.wcube");
+        let q = dir.join("quarantine.json");
+        std::fs::write(
+            &xml,
+            "<mediawiki><page><title>Good</title><revision>\
+             <timestamp>2019-01-01T00:00:00Z</timestamp>\
+             <text>{{Infobox x | a = 1}}</text></revision></page>\
+             <page><revision><timestamp>2019-01-01T00:00:00Z</timestamp>\
+             <text>no title</text></revision></page></mediawiki>",
+        )
+        .unwrap();
+        // Strict ingest refuses (corrupt input).
+        let err = run_words(&[
+            "ingest",
+            "--xml",
+            xml.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        // Lossy ingest succeeds and writes the quarantine report.
+        run_words(&[
+            "ingest",
+            "--xml",
+            xml.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--lossy",
+            "--quarantine",
+            q.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.exists());
+        let report = std::fs::read_to_string(&q).unwrap();
+        let v = wikistale_obs::json::parse(&report).unwrap();
+        assert_eq!(
+            v.get("pages_quarantined").and_then(|x| x.as_f64()),
+            Some(1.0)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn experiment_checkpoint_resume_reuses_stages() {
+        let dir = std::env::temp_dir().join("wikistale-cli-ckpt-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let ckpt = dir.join("ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = [
+            "experiment",
+            "--preset",
+            "tiny",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+        ];
+        run_words(&base).unwrap();
+        assert!(ckpt.join("manifest.json").exists());
+        assert!(ckpt.join("generate.wcube").exists());
+        assert!(ckpt.join("filter.wcube").exists());
+        // Resume on a complete checkpoint re-renders without recomputing.
+        let mut resume = base.to_vec();
+        resume.push("--resume");
+        run_words(&resume).unwrap();
+        // Different parameters refuse the stored checkpoint.
+        let err = run_words(&[
+            "experiment",
+            "--preset",
+            "tiny",
+            "--seed",
+            "99",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+            "--resume",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("different parameters"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn monitor_rejects_bad_dates_and_windows() {
         let dir = std::env::temp_dir().join("wikistale-cli-test2");
         std::fs::create_dir_all(&dir).unwrap();
@@ -664,11 +1033,6 @@ mod tests {
         .is_err());
         assert!(run_words(&["monitor", "--in", raw, "--at", "1990-01-01"]).is_err());
         std::fs::remove_dir_all(std::env::temp_dir().join("wikistale-cli-test2")).ok();
-    }
-
-    #[test]
-    fn evaluate_rejects_missing_file() {
-        assert!(run_words(&["evaluate", "--in", "/nonexistent/x.wcube"]).is_err());
     }
 
     #[test]

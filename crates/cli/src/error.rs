@@ -1,0 +1,146 @@
+//! Typed CLI failures with distinct process exit codes, so scripts and
+//! the fault-injection harness can tell *why* a run died without
+//! scraping stderr:
+//!
+//! | code | meaning                                   |
+//! |------|-------------------------------------------|
+//! | 0    | success                                   |
+//! | 1    | other failure                             |
+//! | 2    | usage error (bad flag, bad value)         |
+//! | 3    | i/o error (missing file, failed write)    |
+//! | 4    | corrupt input (bad cube file, bad XML)    |
+//! | 5    | ingest error budget exceeded              |
+
+use wikistale_core::checkpoint::CheckpointError;
+use wikistale_wikicube::CubeError;
+use wikistale_wikitext::StreamError;
+
+/// A CLI failure, classified for the process exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself is wrong (exit 2).
+    Usage(String),
+    /// The filesystem failed us (exit 3).
+    Io(String),
+    /// An input exists but its contents are broken (exit 4).
+    Corrupt(String),
+    /// Lossy ingest quarantined more than the error budget (exit 5).
+    BudgetExceeded(String),
+    /// Anything else (exit 1).
+    Other(String),
+}
+
+impl CliError {
+    /// The process exit code this failure maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Other(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Corrupt(_) => 4,
+            CliError::BudgetExceeded(_) => 5,
+        }
+    }
+
+    /// Classify a cube read/write failure: transport problems are
+    /// [`CliError::Io`], everything else means the bytes are bad.
+    pub fn from_cube(context: &str, e: CubeError) -> CliError {
+        match e {
+            CubeError::Io(io) => CliError::Io(format!("{context}: {io}")),
+            other => CliError::Corrupt(format!("{context}: {other}")),
+        }
+    }
+
+    /// Classify a streaming-ingest failure.
+    pub fn from_stream(context: &str, e: StreamError) -> CliError {
+        match e {
+            StreamError::Io(io) => CliError::Io(format!("{context}: {io}")),
+            StreamError::Xml(xml) => CliError::Corrupt(format!("{context}: {xml}")),
+            budget @ StreamError::BudgetExceeded { .. } => {
+                CliError::BudgetExceeded(format!("{context}: {budget}"))
+            }
+        }
+    }
+
+    /// Classify a checkpoint failure. A fingerprint mismatch is the
+    /// user's flags disagreeing with the stored run, i.e. a usage error.
+    pub fn from_checkpoint(e: CheckpointError) -> CliError {
+        match e {
+            CheckpointError::Io(io) => CliError::Io(format!("checkpoint: {io}")),
+            CheckpointError::Corrupt(why) => CliError::Corrupt(why),
+            mismatch @ CheckpointError::FingerprintMismatch { .. } => {
+                CliError::Usage(mismatch.to_string())
+            }
+        }
+    }
+}
+
+// `Display` just prints the carried message; the classification shows
+// up in the exit code, not the text.
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (CliError::Usage(m)
+        | CliError::Io(m)
+        | CliError::Corrupt(m)
+        | CliError::BudgetExceeded(m)
+        | CliError::Other(m)) = self;
+        write!(f, "{m}")
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::Other(message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_stable() {
+        let all = [
+            CliError::Other("o".into()),
+            CliError::Usage("u".into()),
+            CliError::Io("i".into()),
+            CliError::Corrupt("c".into()),
+            CliError::BudgetExceeded("b".into()),
+        ];
+        let codes: Vec<u8> = all.iter().map(CliError::exit_code).collect();
+        assert_eq!(codes, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cube_errors_split_io_from_corruption() {
+        let io = CubeError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert_eq!(CliError::from_cube("x", io).exit_code(), 3);
+        assert_eq!(CliError::from_cube("x", CubeError::BadMagic).exit_code(), 4);
+        let trunc = CubeError::Truncated {
+            section: "changes",
+            need: 18,
+            got: 3,
+        };
+        assert_eq!(CliError::from_cube("x", trunc).exit_code(), 4);
+    }
+
+    #[test]
+    fn stream_errors_map_to_their_codes() {
+        let budget = StreamError::BudgetExceeded {
+            quarantined: 5,
+            seen: 10,
+            max_fraction: 0.01,
+        };
+        assert_eq!(CliError::from_stream("x", budget).exit_code(), 5);
+        let xml = StreamError::Xml(wikistale_wikitext::XmlError::MissingTitle);
+        assert_eq!(CliError::from_stream("x", xml).exit_code(), 4);
+    }
+
+    #[test]
+    fn messages_pass_through_display() {
+        let e = CliError::Corrupt("bad bytes at offset 7".into());
+        assert_eq!(e.to_string(), "bad bytes at offset 7");
+    }
+}

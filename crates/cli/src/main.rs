@@ -10,9 +10,13 @@
 //! wikistale evaluate --in filtered.wcube [--vs-paper]
 //! wikistale monitor  --in filtered.wcube --at 2019-06-01 --window 7
 //! ```
+//!
+//! Failures exit with a classified code (see `wikistale help`):
+//! 1 other, 2 usage, 3 i/o, 4 corrupt input, 5 error budget exceeded.
 
 mod args;
 mod commands;
+mod error;
 
 use std::process::ExitCode;
 
@@ -22,7 +26,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

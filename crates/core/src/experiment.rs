@@ -39,7 +39,7 @@ impl Default for ThresholdBaselineConfig {
 }
 
 /// Everything §5 reports for one window granularity.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GranularityResults {
     /// Window size in days.
     pub granularity: u32,
@@ -67,7 +67,7 @@ pub struct GranularityResults {
 }
 
 /// The complete evaluation output.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PaperResults {
     /// One entry per granularity (1, 7, 30, 365 by default).
     pub per_granularity: Vec<GranularityResults>,
@@ -245,6 +245,57 @@ pub fn run_paper_evaluation_serial(
     results_for(&data, &predictors, split.test, Concurrency::Serial)
 }
 
+/// [`run_paper_evaluation_serial`] with checkpoint/resume support.
+///
+/// Work already recorded in `manifest` (granularity results, the
+/// training summary) is skipped; freshly completed work is recorded into
+/// `manifest`, and `on_stage` is invoked after each newly finished stage
+/// (`train`, then `granularity_1`, `granularity_7`, …) so the caller can
+/// persist the manifest — or, in the fault-injection harness, die right
+/// there. When the manifest already holds everything, the saved results
+/// are returned without touching the cube; they are exact (all counts
+/// are integers), so a resumed run reproduces the uninterrupted run's
+/// [`PaperResults`] precisely.
+pub fn run_paper_evaluation_resumable(
+    filtered: &ChangeCube,
+    split: &EvalSplit,
+    config: &ExperimentConfig,
+    manifest: &mut crate::checkpoint::CheckpointManifest,
+    on_stage: &mut dyn FnMut(&str, &crate::checkpoint::CheckpointManifest) -> Result<(), String>,
+) -> Result<PaperResults, String> {
+    if let Some(results) = manifest.assemble_results(&crate::GRANULARITIES) {
+        return Ok(results);
+    }
+    let index = {
+        let _s = wikistale_obs::MetricsRegistry::global().span("index");
+        CubeIndex::build(filtered)
+    };
+    let data = EvalData::new(filtered, &index);
+    let predictors = TrainedPredictors::train(&data, split.train_and_validation(), config);
+    // Same ordering as `results_for`: Figure 3 histogram sorted by
+    // descending rule count, ties by template id.
+    let mut rules_per_template: Vec<(TemplateId, usize)> =
+        predictors.assoc.rules_per_template().into_iter().collect();
+    rules_per_template.sort_unstable_by_key(|&(t, n)| (std::cmp::Reverse(n), t));
+    manifest.set_summary(crate::checkpoint::ResultsSummary {
+        num_field_corr_rules: predictors.field_corr.num_rules(),
+        num_assoc_rules: predictors.assoc.num_rules(),
+        covered_entities: predictors.assoc.covered_entities(&data),
+        rules_per_template,
+    });
+    on_stage("train", manifest)?;
+    for &g in &crate::GRANULARITIES {
+        if manifest.granularity(g).is_none() {
+            let results = evaluate_granularity(&data, &predictors, split.test, g, g == 7);
+            manifest.record_granularity(results);
+            on_stage(&format!("granularity_{g}"), manifest)?;
+        }
+    }
+    manifest
+        .assemble_results(&crate::GRANULARITIES)
+        .ok_or_else(|| "internal error: evaluation left the checkpoint incomplete".to_owned())
+}
+
 /// Run the same evaluation against the validation year with models trained
 /// only on the training range — the setting the grid searches score in.
 pub fn run_validation_evaluation(
@@ -391,6 +442,89 @@ mod tests {
         for s in series {
             assert_eq!(s.len(), 52);
         }
+    }
+
+    #[test]
+    fn resumable_evaluation_matches_serial_exactly() {
+        let corpus = generate(&SynthConfig::tiny());
+        let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+        let split = EvalSplit::for_span(filtered.time_span().unwrap()).unwrap();
+        let config = ExperimentConfig::default();
+        let reference = run_paper_evaluation_serial(&filtered, &split, &config);
+
+        // Fresh manifest: every stage computed, results identical.
+        let mut manifest = crate::checkpoint::CheckpointManifest::new("fp");
+        let mut stages = Vec::new();
+        let fresh = run_paper_evaluation_resumable(
+            &filtered,
+            &split,
+            &config,
+            &mut manifest,
+            &mut |name, _m| {
+                stages.push(name.to_owned());
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(fresh, reference);
+        assert_eq!(
+            stages,
+            vec![
+                "train",
+                "granularity_1",
+                "granularity_7",
+                "granularity_30",
+                "granularity_365"
+            ]
+        );
+
+        // Simulate a crash after 7d: keep train + first two granularities,
+        // resume must recompute only the rest and agree exactly.
+        let mut partial = crate::checkpoint::CheckpointManifest::new("fp");
+        run_paper_evaluation_resumable(
+            &filtered,
+            &split,
+            &config,
+            &mut partial,
+            &mut |name, _m| {
+                if name == "granularity_7" {
+                    Err("simulated crash".to_owned())
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(partial.granularity(7).is_some());
+        assert!(partial.granularity(30).is_none());
+        let mut resumed_stages = Vec::new();
+        let resumed = run_paper_evaluation_resumable(
+            &filtered,
+            &split,
+            &config,
+            &mut partial,
+            &mut |name, _m| {
+                resumed_stages.push(name.to_owned());
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed, reference);
+        assert_eq!(
+            resumed_stages,
+            vec!["train", "granularity_30", "granularity_365"]
+        );
+
+        // Fully complete manifest: nothing recomputed.
+        let complete = run_paper_evaluation_resumable(
+            &filtered,
+            &split,
+            &config,
+            &mut partial,
+            &mut |_n, _m| panic!("no stage should run on a complete checkpoint"),
+        )
+        .unwrap();
+        assert_eq!(complete, reference);
     }
 
     #[test]

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod anomaly;
+pub mod checkpoint;
 pub mod detector;
 pub mod ensemble;
 pub mod eval;

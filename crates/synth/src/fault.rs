@@ -1,0 +1,253 @@
+//! Seeded fault injection for the chaos test harness.
+//!
+//! Robustness claims are only as good as the faults they were tested
+//! against. [`FaultInjector`] produces the corruption the ingest and
+//! persistence layers must survive — bit rot, truncated downloads,
+//! mid-write crashes, mangled markup — *deterministically*: the same
+//! seed always yields the same fault, so a chaos-test failure is
+//! reproducible from its seed alone.
+//!
+//! The injector never decides what "should" happen; it only breaks
+//! things. The chaos suites assert the system's contract: every injected
+//! fault ends in a typed error or a quarantine entry, never a panic and
+//! never a silently wrong answer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ways to break a well-formed piece of XML/wikitext.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TextFault {
+    /// Delete one closing tag (`</…>`), unbalancing the markup.
+    DropClosingTag,
+    /// Overwrite a digit of a timestamp with a letter.
+    MangleTimestamp,
+    /// Cut the text off somewhere in the middle, as a dropped
+    /// connection would.
+    TruncateMiddle,
+    /// Splice printable garbage into the middle.
+    SpliceGarbage,
+}
+
+/// All text fault modes, for exhaustive chaos sweeps.
+pub const TEXT_FAULTS: [TextFault; 4] = [
+    TextFault::DropClosingTag,
+    TextFault::MangleTimestamp,
+    TextFault::TruncateMiddle,
+    TextFault::SpliceGarbage,
+];
+
+/// A deterministic source of corruption.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// An injector whose entire fault sequence is determined by `seed`.
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Flip `n` randomly chosen bits in place (positions may repeat, so
+    /// the effective flip count is ≤ `n`). No-op on empty data.
+    pub fn flip_bits(&mut self, data: &mut [u8], n: usize) {
+        if data.is_empty() {
+            return;
+        }
+        for _ in 0..n {
+            let byte = self.rng.random_range(0..data.len());
+            let bit = self.rng.random_range(0..8u32);
+            data[byte] ^= 1 << bit;
+        }
+    }
+
+    /// Truncate to a strictly shorter random length (possibly empty) —
+    /// the shape of an interrupted download. No-op on empty data.
+    pub fn truncate(&mut self, data: &mut Vec<u8>) {
+        if data.is_empty() {
+            return;
+        }
+        let keep = self.rng.random_range(0..data.len());
+        data.truncate(keep);
+    }
+
+    /// Insert 1..=`max_len` random bytes at a random position.
+    pub fn insert_garbage(&mut self, data: &mut Vec<u8>, max_len: usize) {
+        let n = self.rng.random_range(1..=max_len.max(1));
+        let at = self.rng.random_range(0..=data.len());
+        let garbage: Vec<u8> = (0..n)
+            .map(|_| self.rng.random_range(0..=255u32) as u8)
+            .collect();
+        data.splice(at..at, garbage);
+    }
+
+    /// What would have reached disk if the process died mid-write: a
+    /// strict prefix of `data` (possibly empty).
+    pub fn partial_write(&mut self, data: &[u8]) -> Vec<u8> {
+        if data.is_empty() {
+            return Vec::new();
+        }
+        let written = self.rng.random_range(0..data.len());
+        data[..written].to_vec()
+    }
+
+    /// Apply one [`TextFault`] to `text`, keeping it valid UTF-8. Modes
+    /// whose target pattern is absent fall back to truncation, so the
+    /// text always comes back changed (unless it was empty).
+    pub fn corrupt_text(&mut self, text: &mut String, fault: TextFault) {
+        if text.is_empty() {
+            return;
+        }
+        match fault {
+            TextFault::DropClosingTag => {
+                let closers: Vec<usize> = text.match_indices("</").map(|(i, _)| i).collect();
+                if closers.is_empty() {
+                    return self.corrupt_text(text, TextFault::TruncateMiddle);
+                }
+                let start = closers[self.rng.random_range(0..closers.len())];
+                let end = text[start..]
+                    .find('>')
+                    .map(|rel| start + rel + 1)
+                    .unwrap_or(text.len());
+                text.replace_range(start..end, "");
+            }
+            TextFault::MangleTimestamp => {
+                // Timestamps look like 2019-01-01T…; hit the first digit
+                // after a "<timestamp>" if there is one.
+                let Some(at) = text.find("<timestamp>") else {
+                    return self.corrupt_text(text, TextFault::TruncateMiddle);
+                };
+                let digit = text[at..]
+                    .char_indices()
+                    .find(|(_, c)| c.is_ascii_digit())
+                    .map(|(i, _)| at + i);
+                match digit {
+                    Some(i) => text.replace_range(i..i + 1, "x"),
+                    None => self.corrupt_text(text, TextFault::TruncateMiddle),
+                }
+            }
+            TextFault::TruncateMiddle => {
+                let cut = self.rng.random_range(0..text.len());
+                let boundary = (0..=cut)
+                    .rev()
+                    .find(|&i| text.is_char_boundary(i))
+                    .unwrap_or(0);
+                text.truncate(boundary);
+            }
+            TextFault::SpliceGarbage => {
+                let at = loop {
+                    let i = self.rng.random_range(0..=text.len());
+                    if text.is_char_boundary(i) {
+                        break i;
+                    }
+                };
+                let n = self.rng.random_range(1..=24usize);
+                let garbage: String = (0..n)
+                    .map(|_| (self.rng.random_range(33..=126u32) as u8) as char)
+                    .collect();
+                text.insert_str(at, &garbage);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bytes() -> Vec<u8> {
+        (0..256u32).map(|i| (i * 7 + 3) as u8).collect()
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let mut a = FaultInjector::new(99);
+        let mut b = FaultInjector::new(99);
+        let (mut da, mut db) = (sample_bytes(), sample_bytes());
+        a.flip_bits(&mut da, 5);
+        b.flip_bits(&mut db, 5);
+        assert_eq!(da, db);
+        a.truncate(&mut da);
+        b.truncate(&mut db);
+        assert_eq!(da, db);
+        assert_eq!(a.partial_write(&da), b.partial_write(&db));
+        let (mut ta, mut tb) = (
+            "<a><timestamp>2019</timestamp></a>".to_owned(),
+            String::new(),
+        );
+        tb.clone_from(&ta);
+        a.corrupt_text(&mut ta, TextFault::SpliceGarbage);
+        b.corrupt_text(&mut tb, TextFault::SpliceGarbage);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (mut da, mut db) = (sample_bytes(), sample_bytes());
+        FaultInjector::new(1).flip_bits(&mut da, 8);
+        FaultInjector::new(2).flip_bits(&mut db, 8);
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn flip_bits_changes_at_most_n_bits() {
+        let original = sample_bytes();
+        let mut data = original.clone();
+        FaultInjector::new(3).flip_bits(&mut data, 4);
+        let flipped: u32 = original
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert!((1..=4).contains(&flipped), "{flipped} bits flipped");
+    }
+
+    #[test]
+    fn truncate_and_partial_write_shrink() {
+        let original = sample_bytes();
+        let mut data = original.clone();
+        let mut inj = FaultInjector::new(4);
+        inj.truncate(&mut data);
+        assert!(data.len() < original.len());
+        assert_eq!(&original[..data.len()], &data[..]);
+        let partial = inj.partial_write(&original);
+        assert!(partial.len() < original.len());
+        assert_eq!(&original[..partial.len()], &partial[..]);
+    }
+
+    #[test]
+    fn insert_garbage_grows() {
+        let mut data = sample_bytes();
+        FaultInjector::new(5).insert_garbage(&mut data, 16);
+        assert!(data.len() > 256 && data.len() <= 256 + 16);
+    }
+
+    #[test]
+    fn every_text_fault_changes_valid_xml_and_keeps_utf8() {
+        let xml = "<page><title>Tïtle</title><revision>\
+                   <timestamp>2019-01-01T00:00:00Z</timestamp>\
+                   <text>{{Infobox x | a = 1}}</text></revision></page>";
+        for (i, &fault) in TEXT_FAULTS.iter().enumerate() {
+            let mut text = xml.to_owned();
+            FaultInjector::new(42 + i as u64).corrupt_text(&mut text, fault);
+            assert_ne!(text, xml, "{fault:?} left the text untouched");
+            assert!(std::str::from_utf8(text.as_bytes()).is_ok());
+        }
+    }
+
+    #[test]
+    fn faults_on_empty_inputs_are_noops() {
+        let mut inj = FaultInjector::new(6);
+        let mut empty: Vec<u8> = Vec::new();
+        inj.flip_bits(&mut empty, 3);
+        inj.truncate(&mut empty);
+        assert!(empty.is_empty());
+        assert!(inj.partial_write(&[]).is_empty());
+        let mut s = String::new();
+        inj.corrupt_text(&mut s, TextFault::TruncateMiddle);
+        assert!(s.is_empty());
+    }
+}

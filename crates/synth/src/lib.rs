@@ -41,12 +41,14 @@
 
 pub mod config;
 pub mod dist;
+pub mod fault;
 pub mod generate;
 pub mod ground_truth;
 pub mod scenario;
 pub mod schema;
 
 pub use config::SynthConfig;
+pub use fault::{FaultInjector, TextFault, TEXT_FAULTS};
 pub use generate::{generate, try_generate, SynthCorpus};
 pub use ground_truth::{ForgottenUpdate, GroundTruth};
 pub use scenario::Scenario;

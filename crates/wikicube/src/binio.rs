@@ -1,41 +1,103 @@
 //! Versioned binary persistence for change cubes.
 //!
-//! The format is a straightforward length-prefixed encoding:
+//! Version 2 (the current writer) frames every section with a length and
+//! a CRC-32 so corruption is detected before any data is trusted:
 //!
 //! ```text
-//! magic    8 bytes  "WCUBE\0\0\0"
-//! version  u32      currently 1
-//! interner ×5       entities, properties, templates, pages, values
-//!   count  u32
-//!   string ×count   u32 byte length + UTF-8 bytes
-//! entities u32 count, ×count { template u32, page u32 }
-//! changes  u64 count, ×count { day i32, entity u32, property u32,
-//!                              value u32, kind u8, flags u8 }
+//! magic     8 bytes  "WCUBE\0\0\0"
+//! version   u32      2
+//! section ×7         entities, properties, templates, pages, values,
+//!                    entity_meta, changes — in this order, each:
+//!   len     u64      payload byte length
+//!   payload          section-specific encoding (below)
+//!   crc     u32      CRC-32 of the payload
+//! file_crc  u32      CRC-32 of every preceding byte (magic included)
 //! ```
 //!
-//! All integers are little-endian. Reading validates magic, version, string
-//! UTF-8, id referential integrity and (via the cube constructor)
-//! restores canonical ordering, so a cube read back is byte-for-byte
-//! re-serializable.
+//! Interner payloads are `u32 count`, then `u32 byte length + UTF-8
+//! bytes` per string; `entity_meta` is `u32 count`, then
+//! `{ template u32, page u32 }` per entity; `changes` is `u64 count`,
+//! then `{ day i32, entity u32, property u32, value u32, kind u8,
+//! flags u8 }` per change. All integers are little-endian.
+//!
+//! Version 1 (no checksums, no section framing) is still read
+//! transparently; [`encode_v1`] keeps a writer around for compatibility
+//! tests and downgrade tooling.
+//!
+//! Reading validates magic, version, checksums, string UTF-8, id
+//! referential integrity and (via the cube constructor) restores
+//! canonical ordering, so a cube read back is byte-for-byte
+//! re-serializable. Length prefixes are never trusted for allocation:
+//! capacity is clamped to what the remaining bytes could actually hold,
+//! so a corrupt count cannot trigger a multi-gigabyte allocation.
+//! Truncation surfaces as [`CubeError::Truncated`] naming the section;
+//! checksum failures as [`CubeError::ChecksumMismatch`].
+//!
+//! [`write_to_path`] is atomic and durable: the encoding is written to a
+//! sibling temporary file, fsync'd, renamed over the destination, and
+//! the parent directory is fsync'd — a crash mid-write leaves either the
+//! old file or the new one, never a half-written hybrid.
 
 use crate::change::{Change, ChangeFlags, ChangeKind};
+use crate::crc32::{crc32, Crc32};
 use crate::cube::{ChangeCube, EntityMeta};
 use crate::date::Date;
 use crate::error::CubeError;
 use crate::ids::{EntityId, PageId, PropertyId, TemplateId, ValueId};
 use crate::intern::Interner;
 use std::fs::File;
-use std::io::{BufWriter, Read, Write};
+use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"WCUBE\0\0\0";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
-/// Serialize `cube` into a byte buffer.
+/// Section names in file order; used for framing and error reporting.
+const SECTIONS: [&str; 7] = [
+    "entities",
+    "properties",
+    "templates",
+    "pages",
+    "values",
+    "entity_meta",
+    "changes",
+];
+
+/// Serialize `cube` into a byte buffer (format version 2).
 pub fn encode(cube: &ChangeCube) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(64 + cube.num_changes() * 18);
+    let payloads = section_payloads(cube);
+    debug_assert_eq!(payloads.len(), SECTIONS.len());
+    let mut buf = Vec::with_capacity(128 + cube.num_changes() * 18);
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
+    for payload in &payloads {
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(payload);
+        buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    }
+    let mut file_crc = Crc32::new();
+    file_crc.update(&buf);
+    buf.extend_from_slice(&file_crc.finalize().to_le_bytes());
+    buf
+}
+
+/// Serialize `cube` in the legacy, checksum-free version-1 layout.
+///
+/// Kept so compatibility tests can prove v1 files still load and so
+/// tooling can produce files for older readers.
+pub fn encode_v1(cube: &ChangeCube) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + cube.num_changes() * 18);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&1u32.to_le_bytes());
+    for payload in section_payloads(cube) {
+        buf.extend_from_slice(&payload);
+    }
+    buf
+}
+
+/// The seven section payloads in file order.
+fn section_payloads(cube: &ChangeCube) -> Vec<Vec<u8>> {
+    let mut payloads = Vec::with_capacity(SECTIONS.len());
     for interner in [
         cube.entities(),
         cube.properties(),
@@ -43,71 +105,128 @@ pub fn encode(cube: &ChangeCube) -> Vec<u8> {
         cube.pages(),
         cube.values(),
     ] {
-        put_interner(&mut buf, interner);
+        let mut p = Vec::new();
+        put_interner(&mut p, interner);
+        payloads.push(p);
     }
-    buf.extend_from_slice(&(cube.entity_meta().len() as u32).to_le_bytes());
-    for meta in cube.entity_meta() {
-        buf.extend_from_slice(&meta.template.0.to_le_bytes());
-        buf.extend_from_slice(&meta.page.0.to_le_bytes());
+    let mut meta = Vec::with_capacity(4 + cube.entity_meta().len() * 8);
+    meta.extend_from_slice(&(cube.entity_meta().len() as u32).to_le_bytes());
+    for m in cube.entity_meta() {
+        meta.extend_from_slice(&m.template.0.to_le_bytes());
+        meta.extend_from_slice(&m.page.0.to_le_bytes());
     }
-    buf.extend_from_slice(&(cube.num_changes() as u64).to_le_bytes());
+    payloads.push(meta);
+    let mut changes = Vec::with_capacity(8 + cube.num_changes() * 18);
+    changes.extend_from_slice(&(cube.num_changes() as u64).to_le_bytes());
     for c in cube.changes() {
-        buf.extend_from_slice(&c.day.day_number().to_le_bytes());
-        buf.extend_from_slice(&c.entity.0.to_le_bytes());
-        buf.extend_from_slice(&c.property.0.to_le_bytes());
-        buf.extend_from_slice(&c.value.0.to_le_bytes());
-        buf.push(c.kind as u8);
-        buf.push(c.flags.bits());
+        changes.extend_from_slice(&c.day.day_number().to_le_bytes());
+        changes.extend_from_slice(&c.entity.0.to_le_bytes());
+        changes.extend_from_slice(&c.property.0.to_le_bytes());
+        changes.extend_from_slice(&c.value.0.to_le_bytes());
+        changes.push(c.kind as u8);
+        changes.push(c.flags.bits());
     }
-    buf
+    payloads.push(changes);
+    payloads
 }
 
-/// Deserialize a cube from bytes produced by [`encode`].
+/// Deserialize a cube from bytes produced by [`encode`] (v2) or
+/// [`encode_v1`].
 pub fn decode(mut data: &[u8]) -> Result<ChangeCube, CubeError> {
     let buf = &mut data;
-    let magic = take_bytes(buf, 8)?;
+    let magic = take_bytes_in(buf, 8, "magic")?;
     if magic != MAGIC {
         return Err(CubeError::BadMagic);
     }
-    let version = take_u32(buf)?;
-    if version != VERSION {
-        return Err(CubeError::UnsupportedVersion(version));
+    let version = take_u32_in(buf, "magic")?;
+    match version {
+        1 => decode_v1(buf),
+        2 => decode_v2(data),
+        other => Err(CubeError::UnsupportedVersion(other)),
     }
-    let entities = take_interner(buf)?;
-    let properties = take_interner(buf)?;
-    let templates = take_interner(buf)?;
-    let pages = take_interner(buf)?;
-    let values = take_interner(buf)?;
+}
 
-    let n_entities = take_u32(buf)? as usize;
-    let mut entity_meta = Vec::with_capacity(n_entities.min(1 << 20));
-    for _ in 0..n_entities {
-        entity_meta.push(EntityMeta {
-            template: TemplateId(take_u32(buf)?),
-            page: PageId(take_u32(buf)?),
+/// Decode the checksummed v2 body (`data` starts after magic + version,
+/// but the file checksum covers them, so they are re-derived here).
+fn decode_v2(body: &[u8]) -> Result<ChangeCube, CubeError> {
+    // Pass 1 — frame walk. Establishes where every section lies and
+    // reports truncation precisely (which section, how many bytes were
+    // needed vs. present) before any checksum or content is examined.
+    let mut frames: Vec<(&[u8], u32)> = Vec::with_capacity(SECTIONS.len());
+    let mut rest = body;
+    for name in SECTIONS {
+        let (payload, stored_crc) = take_frame(&mut rest, name)?;
+        frames.push((payload, stored_crc));
+    }
+    if rest.len() < 4 {
+        return Err(CubeError::Truncated {
+            section: "file",
+            need: 4,
+            got: rest.len(),
         });
     }
+    if rest.len() > 4 {
+        return Err(CubeError::Corrupt(format!(
+            "{} trailing bytes after the file checksum",
+            rest.len() - 4
+        )));
+    }
 
-    let n_changes = take_u64(buf)? as usize;
-    let mut changes = Vec::with_capacity(n_changes.min(1 << 24));
-    for _ in 0..n_changes {
-        let day = Date::from_day_number(take_i32(buf)?);
-        let entity = EntityId(take_u32(buf)?);
-        let property = PropertyId(take_u32(buf)?);
-        let value = ValueId(take_u32(buf)?);
-        let kind_raw = take_u8(buf)?;
-        let kind = ChangeKind::from_u8(kind_raw)
-            .ok_or_else(|| CubeError::Corrupt(format!("unknown change kind {kind_raw}")))?;
-        let flags = ChangeFlags::from_bits(take_u8(buf)?);
-        changes.push(Change {
-            day,
-            entity,
-            property,
-            value,
-            kind,
-            flags,
+    // Pass 2 — whole-file checksum (covers magic, version, and all
+    // section frames), then the per-section checksums that pinpoint
+    // which section went bad.
+    let stored = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+    let mut hasher = Crc32::new();
+    hasher.update(MAGIC);
+    hasher.update(&VERSION.to_le_bytes());
+    hasher.update(&body[..body.len() - 4]);
+    let computed = hasher.finalize();
+    if stored != computed {
+        return Err(CubeError::ChecksumMismatch {
+            section: "file",
+            stored,
+            computed,
         });
     }
+    for (name, &(payload, stored)) in SECTIONS.iter().zip(&frames) {
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(CubeError::ChecksumMismatch {
+                section: name,
+                stored,
+                computed,
+            });
+        }
+    }
+
+    // Pass 3 — parse the now-verified payloads.
+    let entities = parse_interner_section(frames[0].0, "entities")?;
+    let properties = parse_interner_section(frames[1].0, "properties")?;
+    let templates = parse_interner_section(frames[2].0, "templates")?;
+    let pages = parse_interner_section(frames[3].0, "pages")?;
+    let values = parse_interner_section(frames[4].0, "values")?;
+    let entity_meta = parse_entity_meta_section(frames[5].0)?;
+    let changes = parse_changes_section(frames[6].0)?;
+    ChangeCube::from_parts(
+        entities,
+        properties,
+        templates,
+        pages,
+        values,
+        entity_meta,
+        changes,
+    )
+}
+
+/// Decode the legacy unframed v1 body.
+fn decode_v1(buf: &mut &[u8]) -> Result<ChangeCube, CubeError> {
+    let entities = take_interner(buf, "entities")?;
+    let properties = take_interner(buf, "properties")?;
+    let templates = take_interner(buf, "templates")?;
+    let pages = take_interner(buf, "pages")?;
+    let values = take_interner(buf, "values")?;
+    let entity_meta = take_entity_meta(buf)?;
+    let changes = take_changes(buf)?;
     if !buf.is_empty() {
         return Err(CubeError::Corrupt(format!("{} trailing bytes", buf.len())));
     }
@@ -122,15 +241,120 @@ pub fn decode(mut data: &[u8]) -> Result<ChangeCube, CubeError> {
     )
 }
 
-/// Write `cube` to `path` (atomically via a sibling temp file).
-pub fn write_to_path(cube: &ChangeCube, path: &Path) -> Result<(), CubeError> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut w = BufWriter::new(File::create(&tmp)?);
-        w.write_all(&encode(cube))?;
-        w.flush()?;
+/// Read one framed section without verifying its checksum: length
+/// prefix, payload slice, stored payload checksum.
+fn take_frame<'a>(buf: &mut &'a [u8], name: &'static str) -> Result<(&'a [u8], u32), CubeError> {
+    if buf.len() < 8 {
+        return Err(CubeError::Truncated {
+            section: name,
+            need: 8,
+            got: buf.len(),
+        });
     }
-    std::fs::rename(&tmp, path)?;
+    let (len_bytes, rest) = buf.split_at(8);
+    let len = u64::from_le_bytes([
+        len_bytes[0],
+        len_bytes[1],
+        len_bytes[2],
+        len_bytes[3],
+        len_bytes[4],
+        len_bytes[5],
+        len_bytes[6],
+        len_bytes[7],
+    ]);
+    // A corrupt length can be astronomically large; compare in u128 so
+    // `len + 4` cannot overflow, and never allocate based on it.
+    if (len as u128) + 4 > rest.len() as u128 {
+        return Err(CubeError::Truncated {
+            section: name,
+            need: (len as u128 + 4).min(usize::MAX as u128) as usize,
+            got: rest.len(),
+        });
+    }
+    let len = len as usize;
+    let payload = &rest[..len];
+    let crc_bytes = &rest[len..len + 4];
+    let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    *buf = &rest[len + 4..];
+    Ok((payload, stored))
+}
+
+fn parse_interner_section(mut payload: &[u8], name: &'static str) -> Result<Interner, CubeError> {
+    let interner = take_interner(&mut payload, name)?;
+    expect_consumed(payload, name)?;
+    Ok(interner)
+}
+
+fn parse_entity_meta_section(mut payload: &[u8]) -> Result<Vec<EntityMeta>, CubeError> {
+    let meta = take_entity_meta(&mut payload)?;
+    expect_consumed(payload, "entity_meta")?;
+    Ok(meta)
+}
+
+fn parse_changes_section(mut payload: &[u8]) -> Result<Vec<Change>, CubeError> {
+    let changes = take_changes(&mut payload)?;
+    expect_consumed(payload, "changes")?;
+    Ok(changes)
+}
+
+fn expect_consumed(payload: &[u8], name: &'static str) -> Result<(), CubeError> {
+    if payload.is_empty() {
+        Ok(())
+    } else {
+        Err(CubeError::Corrupt(format!(
+            "{} trailing bytes in section {name}",
+            payload.len()
+        )))
+    }
+}
+
+/// Write `cube` to `path` atomically and durably (temp file + fsync +
+/// rename + directory fsync).
+pub fn write_to_path(cube: &ChangeCube, path: &Path) -> Result<(), CubeError> {
+    write_bytes_atomic(path, &encode(cube))?;
+    Ok(())
+}
+
+/// Atomically replace `path` with `bytes`.
+///
+/// The bytes are written to a sibling temporary file (same directory, so
+/// the rename cannot cross filesystems), flushed to stable storage with
+/// `fsync`, renamed over `path`, and the parent directory is fsync'd so
+/// the rename itself survives a crash. On any failure the temporary file
+/// is removed and `path` is left untouched.
+pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_owned();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let written = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    })();
+    if let Err(e) = written {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Make the rename durable. Directory fsync is best-effort: it can
+    // fail on exotic filesystems, and by this point the data file itself
+    // is already safe.
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
     Ok(())
 }
 
@@ -149,12 +373,20 @@ fn put_interner(buf: &mut Vec<u8>, interner: &Interner) {
     }
 }
 
-fn take_interner(buf: &mut &[u8]) -> Result<Interner, CubeError> {
-    let count = take_u32(buf)? as usize;
-    let mut strings = Vec::with_capacity(count.min(1 << 20));
+/// Capacity to pre-reserve for `count` elements of at least
+/// `min_elem_bytes` each, clamped to what `remaining` bytes can hold —
+/// an untrusted count must never size an allocation.
+fn clamped_capacity(count: usize, remaining: usize, min_elem_bytes: usize) -> usize {
+    count.min(remaining / min_elem_bytes.max(1))
+}
+
+fn take_interner(buf: &mut &[u8], section: &'static str) -> Result<Interner, CubeError> {
+    let count = take_u32_in(buf, section)? as usize;
+    // Each string costs at least its 4-byte length prefix.
+    let mut strings = Vec::with_capacity(clamped_capacity(count, buf.len(), 4));
     for _ in 0..count {
-        let len = take_u32(buf)? as usize;
-        let bytes = take_bytes(buf, len)?;
+        let len = take_u32_in(buf, section)? as usize;
+        let bytes = take_bytes_in(buf, len, section)?;
         let s = std::str::from_utf8(bytes)
             .map_err(|e| CubeError::Corrupt(format!("invalid UTF-8 in interner: {e}")))?;
         strings.push(s.to_owned());
@@ -162,32 +394,89 @@ fn take_interner(buf: &mut &[u8]) -> Result<Interner, CubeError> {
     Interner::from_ordered(strings).map_err(CubeError::Corrupt)
 }
 
-fn take_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CubeError> {
+fn take_entity_meta(buf: &mut &[u8]) -> Result<Vec<EntityMeta>, CubeError> {
+    const SECTION: &str = "entity_meta";
+    let n_entities = take_u32_in(buf, SECTION)? as usize;
+    let mut entity_meta = Vec::with_capacity(clamped_capacity(n_entities, buf.len(), 8));
+    for _ in 0..n_entities {
+        entity_meta.push(EntityMeta {
+            template: TemplateId(take_u32_in(buf, SECTION)?),
+            page: PageId(take_u32_in(buf, SECTION)?),
+        });
+    }
+    Ok(entity_meta)
+}
+
+fn take_changes(buf: &mut &[u8]) -> Result<Vec<Change>, CubeError> {
+    const SECTION: &str = "changes";
+    let n_changes = take_u64_in(buf, SECTION)?;
+    // Compare in u128: a corrupt u64 count can exceed usize on 32-bit.
+    if (n_changes as u128) * 18 > buf.len() as u128 {
+        return Err(CubeError::Truncated {
+            section: SECTION,
+            need: ((n_changes as u128) * 18).min(usize::MAX as u128) as usize,
+            got: buf.len(),
+        });
+    }
+    let n_changes = n_changes as usize;
+    let mut changes = Vec::with_capacity(clamped_capacity(n_changes, buf.len(), 18));
+    for _ in 0..n_changes {
+        let day = Date::from_day_number(take_i32_in(buf, SECTION)?);
+        let entity = EntityId(take_u32_in(buf, SECTION)?);
+        let property = PropertyId(take_u32_in(buf, SECTION)?);
+        let value = ValueId(take_u32_in(buf, SECTION)?);
+        let kind_raw = take_u8_in(buf, SECTION)?;
+        let kind = ChangeKind::from_u8(kind_raw)
+            .ok_or_else(|| CubeError::Corrupt(format!("unknown change kind {kind_raw}")))?;
+        let flags = ChangeFlags::from_bits(take_u8_in(buf, SECTION)?);
+        changes.push(Change {
+            day,
+            entity,
+            property,
+            value,
+            kind,
+            flags,
+        });
+    }
+    Ok(changes)
+}
+
+fn take_bytes_in<'a>(
+    buf: &mut &'a [u8],
+    n: usize,
+    section: &'static str,
+) -> Result<&'a [u8], CubeError> {
     if buf.len() < n {
-        return Err(CubeError::Corrupt(format!(
-            "need {n} bytes, {} remain",
-            buf.len()
-        )));
+        return Err(CubeError::Truncated {
+            section,
+            need: n,
+            got: buf.len(),
+        });
     }
     let (head, tail) = buf.split_at(n);
     *buf = tail;
     Ok(head)
 }
 
-fn take_u8(buf: &mut &[u8]) -> Result<u8, CubeError> {
-    Ok(take_bytes(buf, 1)?[0])
+fn take_u8_in(buf: &mut &[u8], section: &'static str) -> Result<u8, CubeError> {
+    Ok(take_bytes_in(buf, 1, section)?[0])
 }
 
-fn take_u32(buf: &mut &[u8]) -> Result<u32, CubeError> {
-    Ok(u32::from_le_bytes(take_bytes(buf, 4)?.try_into().unwrap()))
+fn take_u32_in(buf: &mut &[u8], section: &'static str) -> Result<u32, CubeError> {
+    let b = take_bytes_in(buf, 4, section)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }
 
-fn take_i32(buf: &mut &[u8]) -> Result<i32, CubeError> {
-    Ok(i32::from_le_bytes(take_bytes(buf, 4)?.try_into().unwrap()))
+fn take_i32_in(buf: &mut &[u8], section: &'static str) -> Result<i32, CubeError> {
+    let b = take_bytes_in(buf, 4, section)?;
+    Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }
 
-fn take_u64(buf: &mut &[u8]) -> Result<u64, CubeError> {
-    Ok(u64::from_le_bytes(take_bytes(buf, 8)?.try_into().unwrap()))
+fn take_u64_in(buf: &mut &[u8], section: &'static str) -> Result<u64, CubeError> {
+    let b = take_bytes_in(buf, 8, section)?;
+    Ok(u64::from_le_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ]))
 }
 
 #[cfg(test)]
@@ -237,9 +526,29 @@ mod tests {
     }
 
     #[test]
+    fn v1_files_still_load() {
+        let cube = sample_cube();
+        let v1 = encode_v1(&cube);
+        assert_eq!(&v1[8..12], &1u32.to_le_bytes());
+        let back = decode(&v1).unwrap();
+        assert_eq!(back.changes(), cube.changes());
+        assert_eq!(back.entity_name(EntityId(0)), "Ali");
+        // Upgrading: re-encoding a v1-loaded cube produces the same v2
+        // bytes as encoding the original.
+        assert_eq!(encode(&back), encode(&cube));
+    }
+
+    #[test]
+    fn v1_empty_cube_round_trips() {
+        let cube = ChangeCubeBuilder::new().finish();
+        let back = decode(&encode_v1(&cube)).unwrap();
+        assert_eq!(back.num_changes(), 0);
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         assert!(matches!(decode(b"NOTACUBE"), Err(CubeError::BadMagic)));
-        assert!(matches!(decode(b""), Err(CubeError::Corrupt(_))));
+        assert!(matches!(decode(b""), Err(CubeError::Truncated { .. })));
     }
 
     #[test]
@@ -264,10 +573,71 @@ mod tests {
     }
 
     #[test]
+    fn rejects_v1_truncation_anywhere() {
+        let bytes = encode_v1(&sample_cube());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "v1 truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // The trailing file checksum covers every byte, so any one-bit
+        // corruption must surface as a typed error.
+        let bytes = encode(&sample_cube());
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    decode(&flipped).is_err(),
+                    "bit flip at {byte}:{bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_error_names_section_and_counts() {
+        let bytes = encode(&sample_cube());
+        // Cut inside the trailing file checksum.
+        match decode(&bytes[..bytes.len() - 2]) {
+            Err(CubeError::Truncated { section, need, got }) => {
+                assert_eq!(section, "file");
+                assert!(need > got, "need {need} got {got}");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_counts_do_not_allocate() {
+        // A v1 header whose interner count claims u32::MAX strings: the
+        // decoder must fail on missing bytes without reserving gigabytes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(CubeError::Truncated { .. })));
+        // Same for a v1 change count claiming u64::MAX records.
+        let cube = ChangeCubeBuilder::new().finish();
+        let mut v1 = encode_v1(&cube);
+        let len = v1.len();
+        v1[len - 8..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(decode(&v1), Err(CubeError::Truncated { .. })));
+    }
+
+    #[test]
     fn rejects_trailing_garbage() {
         let mut bytes = encode(&sample_cube()).to_vec();
         bytes.push(0);
-        assert!(matches!(decode(&bytes), Err(CubeError::Corrupt(_))));
+        assert!(decode(&bytes).is_err());
+        let mut v1 = encode_v1(&sample_cube());
+        v1.push(0);
+        assert!(matches!(decode(&v1), Err(CubeError::Corrupt(_))));
     }
 
     #[test]
@@ -280,6 +650,42 @@ mod tests {
         let back = read_from_path(&path).unwrap();
         assert_eq!(back.changes(), cube.changes());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join("wikicube-binio-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cube.wcube");
+        write_to_path(&sample_cube(), &path).unwrap();
+        let first = std::fs::read(&path).unwrap();
+        // Overwrite with a different cube: reader sees old or new, and
+        // no temporary files survive.
+        let other = ChangeCubeBuilder::new().finish();
+        write_to_path(&other, &path).unwrap();
+        let second = std::fs::read(&path).unwrap();
+        assert_ne!(first, second);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_failure_keeps_old_file() {
+        let dir = std::env::temp_dir().join("wikicube-binio-atomic-fail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cube.wcube");
+        write_to_path(&sample_cube(), &path).unwrap();
+        // Writing into a directory that does not exist fails cleanly.
+        let bad = dir.join("missing-subdir").join("cube.wcube");
+        assert!(write_to_path(&sample_cube(), &bad).is_err());
+        // The original is untouched and still valid.
+        assert!(read_from_path(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     proptest! {
@@ -313,6 +719,63 @@ mod tests {
             let back = decode(&encode(&cube)).unwrap();
             prop_assert_eq!(back.changes(), cube.changes());
             prop_assert_eq!(encode(&back), encode(&cube));
+            // v1 compatibility: the legacy encoding of the same cube
+            // decodes to the same changes.
+            let v1_back = decode(&encode_v1(&cube)).unwrap();
+            prop_assert_eq!(v1_back.changes(), cube.changes());
+        }
+
+        // The corrupt-bytes mirror of `xml::prop_never_panics`: random
+        // byte mutations of a valid v2 encoding must return `Err`
+        // (guaranteed by the file checksum), never panic.
+        #[test]
+        fn prop_corrupt_v2_bytes_always_err(
+            seed_days in proptest::collection::vec(0i32..365, 1..10),
+            offset_frac in 0.0f64..1.0,
+            new_byte in 0u8..=255,
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let mut b = ChangeCubeBuilder::new();
+            let e = b.entity("e", "t", "p");
+            let prop = b.property("x");
+            for &d in &seed_days {
+                b.change(Date::EPOCH + d, e, prop, &format!("v{d}"), ChangeKind::Update);
+            }
+            let bytes = encode(&b.finish());
+
+            // Mutation: overwrite one byte with a different value.
+            let pos = ((bytes.len() - 1) as f64 * offset_frac) as usize;
+            if bytes[pos] != new_byte {
+                let mut mutated = bytes.clone();
+                mutated[pos] = new_byte;
+                prop_assert!(decode(&mutated).is_err(), "mutation at {pos} decoded");
+            }
+
+            // Truncation: any proper prefix fails.
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(decode(&bytes[..cut]).is_err(), "truncation at {cut} decoded");
+        }
+
+        // v1 has no checksums, so a mutated v1 file may even decode to a
+        // different valid cube — but it must never panic.
+        #[test]
+        fn prop_corrupt_v1_bytes_never_panic(
+            mutations in proptest::collection::vec((0.0f64..1.0, 0u8..=255), 1..8),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let mut b = ChangeCubeBuilder::new();
+            let e = b.entity("e", "t", "p");
+            let prop = b.property("x");
+            b.change(Date::EPOCH + 1, e, prop, "v", ChangeKind::Create);
+            let bytes = encode_v1(&b.finish());
+            let mut mutated = bytes.clone();
+            for &(frac, val) in &mutations {
+                let pos = ((bytes.len() - 1) as f64 * frac) as usize;
+                mutated[pos] = val;
+            }
+            let _ = decode(&mutated);
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            let _ = decode(&mutated[..cut]);
         }
     }
 }

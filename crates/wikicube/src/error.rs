@@ -16,6 +16,26 @@ pub enum CubeError {
     Corrupt(String),
     /// An id referenced a dimension entry that does not exist.
     DanglingId(String),
+    /// The data ends before a section is complete — the signature of a
+    /// truncated download or a partially written file.
+    Truncated {
+        /// Section being read when the data ran out.
+        section: &'static str,
+        /// Bytes the section still needed.
+        need: usize,
+        /// Bytes actually remaining.
+        got: usize,
+    },
+    /// A stored checksum does not match the bytes on disk.
+    ChecksumMismatch {
+        /// Section whose checksum failed (`"file"` for the trailing
+        /// whole-file checksum).
+        section: &'static str,
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum recomputed from the payload.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for CubeError {
@@ -28,6 +48,18 @@ impl fmt::Display for CubeError {
             }
             CubeError::Corrupt(msg) => write!(f, "corrupt wikicube data: {msg}"),
             CubeError::DanglingId(msg) => write!(f, "dangling id: {msg}"),
+            CubeError::Truncated { section, need, got } => write!(
+                f,
+                "truncated wikicube data in section {section}: need {need} bytes, {got} remain"
+            ),
+            CubeError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in section {section}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
         }
     }
 }
@@ -56,6 +88,20 @@ mod tests {
         assert!(CubeError::BadMagic.to_string().contains("magic"));
         assert!(CubeError::UnsupportedVersion(9).to_string().contains('9'));
         assert!(CubeError::Corrupt("x".into()).to_string().contains('x'));
+        let truncated = CubeError::Truncated {
+            section: "changes",
+            need: 18,
+            got: 3,
+        };
+        assert!(truncated.to_string().contains("changes"));
+        assert!(truncated.to_string().contains("18"));
+        let mismatch = CubeError::ChecksumMismatch {
+            section: "file",
+            stored: 1,
+            computed: 2,
+        };
+        assert!(mismatch.to_string().contains("file"));
+        assert!(mismatch.to_string().contains("checksum"));
     }
 
     #[test]

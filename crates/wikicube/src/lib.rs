@@ -29,7 +29,9 @@
 //! * [`cube`] — the [`ChangeCube`] container and its builder,
 //! * [`index`] — derived access paths (field → change days, page → fields,
 //!   template → entities/properties) in compressed-sparse-row layout,
-//! * [`binio`] — a versioned binary persistence format,
+//! * [`binio`] — a versioned, checksummed binary persistence format
+//!   with atomic writes,
+//! * [`crc32`] — the CRC-32 implementation backing those checksums,
 //! * [`stats`] — corpus statistics used by the dataset experiments.
 //!
 //! ## Example
@@ -54,6 +56,7 @@
 
 pub mod binio;
 pub mod change;
+pub mod crc32;
 pub mod cube;
 pub mod date;
 pub mod error;

@@ -15,7 +15,10 @@
 //! * [`xml`] — a minimal, dependency-free reader/writer for the
 //!   `<mediawiki><page><revision>` export schema,
 //! * [`diff`] — snapshot differencing: consecutive revisions of a page
-//!   become create/update/delete changes per infobox field.
+//!   become create/update/delete changes per infobox field,
+//! * [`stream`] / [`quarantine`] — incremental dump reading with an
+//!   optional recovery mode that quarantines malformed pages under a
+//!   configurable error budget instead of aborting.
 //!
 //! ## Example
 //!
@@ -41,11 +44,15 @@
 pub mod diff;
 pub mod export;
 pub mod infobox;
+pub mod quarantine;
 pub mod stream;
 pub mod xml;
 
 pub use diff::build_cube;
 pub use export::cube_to_dump;
 pub use infobox::{extract_infoboxes, render_infobox, Infobox};
+pub use quarantine::{ErrorBudget, QuarantineEntry, QuarantineReport};
 pub use stream::{PageStream, StreamError};
-pub use xml::{parse_export, render_export, PageDump, Revision, XmlError};
+pub use xml::{
+    parse_export, parse_export_lossy, render_export, PageDump, ParseLoss, Revision, XmlError,
+};

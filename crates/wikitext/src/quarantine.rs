@@ -1,0 +1,321 @@
+//! Quarantine bookkeeping for lossy ingest.
+//!
+//! At full-history scale (the paper processed 283 M raw changes over 15
+//! years of dumps), malformed pages are the norm, not the exception. In
+//! recovery mode the ingest pipeline skips what it cannot parse instead
+//! of aborting; every skip is recorded here so the loss is *visible*:
+//! which page, where in the byte stream, and why.
+//!
+//! An [`ErrorBudget`] bounds how lossy a run may get: once the
+//! quarantined fraction of pages exceeds the budget (after a minimum
+//! sample so one bad page out of two does not trip it), the stream
+//! aborts with a summary instead of silently discarding ever more data.
+
+use std::fmt;
+
+/// Cap on retained per-page detail; beyond it only counters grow (a
+/// pathological dump must not turn the report itself into a memory
+/// hazard).
+pub const MAX_DETAILED_ENTRIES: usize = 1_000;
+
+/// One quarantined span of input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Title of the affected page, when one could be extracted.
+    pub title: Option<String>,
+    /// Byte offset of the skipped span in the input stream.
+    pub byte_offset: u64,
+    /// Length of the skipped span in bytes.
+    pub byte_len: usize,
+    /// Human-readable cause.
+    pub error: String,
+}
+
+/// Structured record of everything a lossy ingest skipped.
+#[derive(Debug, Clone, Default)]
+pub struct QuarantineReport {
+    /// Pages parsed successfully (possibly minus skipped revisions).
+    pub pages_ok: usize,
+    /// Pages skipped entirely.
+    pub pages_quarantined: usize,
+    /// Revisions dropped from otherwise-parseable pages.
+    pub revisions_skipped: usize,
+    /// Total bytes in quarantined page spans.
+    pub bytes_quarantined: u64,
+    /// Entries beyond [`MAX_DETAILED_ENTRIES`] counted but not retained.
+    pub entries_dropped: usize,
+    entries: Vec<QuarantineEntry>,
+}
+
+impl QuarantineReport {
+    /// Fresh, empty report.
+    pub fn new() -> QuarantineReport {
+        QuarantineReport::default()
+    }
+
+    /// Record one successfully parsed page.
+    pub fn record_page_ok(&mut self) {
+        self.pages_ok += 1;
+    }
+
+    /// Record a whole skipped page.
+    pub fn record_page_quarantined(&mut self, entry: QuarantineEntry) {
+        self.pages_quarantined += 1;
+        self.bytes_quarantined += entry.byte_len as u64;
+        self.push_entry(entry);
+    }
+
+    /// Record a revision dropped from a page that otherwise parsed.
+    pub fn record_revision_skipped(&mut self, entry: QuarantineEntry) {
+        self.revisions_skipped += 1;
+        self.push_entry(entry);
+    }
+
+    fn push_entry(&mut self, entry: QuarantineEntry) {
+        if self.entries.len() < MAX_DETAILED_ENTRIES {
+            self.entries.push(entry);
+        } else {
+            self.entries_dropped += 1;
+        }
+    }
+
+    /// Detailed entries, oldest first (capped at
+    /// [`MAX_DETAILED_ENTRIES`]).
+    pub fn entries(&self) -> &[QuarantineEntry] {
+        &self.entries
+    }
+
+    /// Pages seen so far, parsed or not.
+    pub fn pages_seen(&self) -> usize {
+        self.pages_ok + self.pages_quarantined
+    }
+
+    /// Fraction of pages quarantined (0 when nothing was seen).
+    pub fn quarantined_fraction(&self) -> f64 {
+        let seen = self.pages_seen();
+        if seen == 0 {
+            0.0
+        } else {
+            self.pages_quarantined as f64 / seen as f64
+        }
+    }
+
+    /// Whether anything at all was skipped.
+    pub fn is_clean(&self) -> bool {
+        self.pages_quarantined == 0 && self.revisions_skipped == 0
+    }
+
+    /// One-line summary for logs and stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "quarantine: {} of {} pages skipped ({:.3} %), {} revisions dropped, {} bytes quarantined",
+            self.pages_quarantined,
+            self.pages_seen(),
+            100.0 * self.quarantined_fraction(),
+            self.revisions_skipped,
+            self.bytes_quarantined,
+        )
+    }
+
+    /// Render the full report as JSON (machine-readable quarantine
+    /// format; see DESIGN.md "Failure model & recovery").
+    pub fn render_json(&self) -> String {
+        use wikistale_obs::json::escape;
+        let mut out = String::with_capacity(256 + self.entries.len() * 96);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"pages_ok\": {},\n", self.pages_ok));
+        out.push_str(&format!(
+            "  \"pages_quarantined\": {},\n",
+            self.pages_quarantined
+        ));
+        out.push_str(&format!(
+            "  \"revisions_skipped\": {},\n",
+            self.revisions_skipped
+        ));
+        out.push_str(&format!(
+            "  \"bytes_quarantined\": {},\n",
+            self.bytes_quarantined
+        ));
+        out.push_str(&format!(
+            "  \"quarantined_fraction\": {},\n",
+            wikistale_obs::json::number(self.quarantined_fraction())
+        ));
+        out.push_str(&format!(
+            "  \"entries_dropped\": {},\n",
+            self.entries_dropped
+        ));
+        out.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"title\": ");
+            match &e.title {
+                Some(t) => out.push_str(&escape(t)),
+                None => out.push_str("null"),
+            }
+            out.push_str(&format!(
+                ", \"byte_offset\": {}, \"byte_len\": {}, \"error\": {}}}",
+                e.byte_offset,
+                e.byte_len,
+                escape(&e.error)
+            ));
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "  {} @ byte {} (+{}): {}",
+                e.title.as_deref().unwrap_or("<unknown page>"),
+                e.byte_offset,
+                e.byte_len,
+                e.error
+            )?;
+        }
+        if self.entries_dropped > 0 {
+            writeln!(f, "  … and {} more entries", self.entries_dropped)?;
+        }
+        Ok(())
+    }
+}
+
+/// Limit on the tolerable quarantined-page fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBudget {
+    /// Maximum tolerated fraction of quarantined pages, in `[0, 1]`.
+    pub max_fraction: f64,
+    /// Pages that must be seen before the budget is enforced, so a bad
+    /// first page of a tiny sample does not read as 100 % loss.
+    pub min_pages: usize,
+}
+
+impl ErrorBudget {
+    /// Budget of `max_fraction` (e.g. `0.005` for 0.5 %) with the
+    /// default 20-page enforcement threshold.
+    pub fn fraction(max_fraction: f64) -> ErrorBudget {
+        ErrorBudget {
+            max_fraction,
+            min_pages: 20,
+        }
+    }
+
+    /// Whether `report` has exceeded this budget.
+    pub fn exceeded(&self, report: &QuarantineReport) -> bool {
+        report.pages_seen() >= self.min_pages && report.quarantined_fraction() > self.max_fraction
+    }
+
+    /// Whether `report` exceeds this budget at end of input. The
+    /// `min_pages` floor exists to avoid judging a small mid-stream
+    /// sample; once the input is exhausted the population is complete,
+    /// so any over-budget loss counts — even when every bad page fell
+    /// below the floor.
+    pub fn exceeded_at_end(&self, report: &QuarantineReport) -> bool {
+        report.pages_quarantined > 0 && report.quarantined_fraction() > self.max_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(title: Option<&str>, offset: u64, len: usize, error: &str) -> QuarantineEntry {
+        QuarantineEntry {
+            title: title.map(str::to_owned),
+            byte_offset: offset,
+            byte_len: len,
+            error: error.to_owned(),
+        }
+    }
+
+    #[test]
+    fn counters_and_fraction() {
+        let mut r = QuarantineReport::new();
+        assert!(r.is_clean());
+        assert_eq!(r.quarantined_fraction(), 0.0);
+        for _ in 0..3 {
+            r.record_page_ok();
+        }
+        r.record_page_quarantined(entry(Some("Bad"), 100, 50, "no <title>"));
+        assert_eq!(r.pages_seen(), 4);
+        assert!((r.quarantined_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(r.bytes_quarantined, 50);
+        assert!(!r.is_clean());
+        r.record_revision_skipped(entry(Some("Ok"), 200, 10, "bad timestamp"));
+        assert_eq!(r.revisions_skipped, 1);
+        assert_eq!(r.entries().len(), 2);
+    }
+
+    #[test]
+    fn detail_is_capped_but_counters_grow() {
+        let mut r = QuarantineReport::new();
+        for i in 0..(MAX_DETAILED_ENTRIES + 7) {
+            r.record_page_quarantined(entry(None, i as u64, 1, "x"));
+        }
+        assert_eq!(r.entries().len(), MAX_DETAILED_ENTRIES);
+        assert_eq!(r.entries_dropped, 7);
+        assert_eq!(r.pages_quarantined, MAX_DETAILED_ENTRIES + 7);
+        assert!(r.to_string().contains("more entries"));
+    }
+
+    #[test]
+    fn json_is_wellformed_and_navigable() {
+        let mut r = QuarantineReport::new();
+        r.record_page_ok();
+        r.record_page_quarantined(entry(Some("A \"quoted\" title"), 42, 13, "err: <x>"));
+        let json = r.render_json();
+        let v = wikistale_obs::json::parse(&json).expect("valid json");
+        assert_eq!(v.get("pages_ok").and_then(|x| x.as_f64()), Some(1.0));
+        assert_eq!(
+            v.get("pages_quarantined").and_then(|x| x.as_f64()),
+            Some(1.0)
+        );
+        // Empty report renders valid JSON too.
+        wikistale_obs::json::parse(&QuarantineReport::new().render_json()).expect("valid json");
+    }
+
+    #[test]
+    fn budget_enforced_only_after_min_pages() {
+        let budget = ErrorBudget::fraction(0.05);
+        let mut r = QuarantineReport::new();
+        r.record_page_quarantined(entry(None, 0, 1, "x"));
+        // 100 % loss, but only one page seen — not yet enforced.
+        assert!(!budget.exceeded(&r));
+        for _ in 0..19 {
+            r.record_page_ok();
+        }
+        // 1/20 = 5 % == budget: not exceeded (strictly greater trips).
+        assert!(!budget.exceeded(&r));
+        r.record_page_quarantined(entry(None, 1, 1, "x"));
+        assert!(budget.exceeded(&r));
+        // A zero budget means any quarantined page (past min_pages) aborts.
+        assert!(ErrorBudget::fraction(0.0).exceeded(&r));
+    }
+
+    #[test]
+    fn end_of_input_check_ignores_the_floor() {
+        let budget = ErrorBudget::fraction(0.05);
+        let mut r = QuarantineReport::new();
+        r.record_page_ok();
+        // Clean-so-far reports never exceed, even with zero pages.
+        assert!(!budget.exceeded_at_end(&r));
+        r.record_page_quarantined(entry(None, 0, 1, "x"));
+        // 1/2 = 50 % > 5 %: below the floor mid-stream, terminal at EOF.
+        assert!(!budget.exceeded(&r));
+        assert!(budget.exceeded_at_end(&r));
+        // Within budget at EOF is fine: 1/21 ≈ 4.8 % ≤ 5 %.
+        for _ in 0..19 {
+            r.record_page_ok();
+        }
+        assert!(!budget.exceeded_at_end(&r));
+    }
+}

@@ -18,4 +18,29 @@ run cargo test -q --offline
 run cargo fmt --all --check
 run cargo clippy --all-targets --offline -- -D warnings
 
+# Robustness gates. Both suites are part of the workspace test run above;
+# invoking them by name makes a chaos/corruption regression fail loudly on
+# its own line instead of disappearing into the full-workspace summary.
+run cargo test -q --offline -p wikistale-cli --test chaos
+run cargo test -q --offline -p wikistale-wikicube binio
+
+# The lossy-parsing and persistence code paths promise "typed error or
+# quarantine entry, never a panic" — a stray unwrap()/expect() in them
+# breaks that contract. Scan non-test, non-comment lines (everything
+# before the #[cfg(test)] module) of the fault-tolerant surfaces.
+echo "==> forbid unwrap()/expect() in fault-tolerant code paths"
+violations=$(
+    for f in crates/wikitext/src/*.rs crates/wikicube/src/binio.rs; do
+        awk '/#\[cfg\(test\)\]/ { exit }
+             !/^[[:space:]]*\/\// && (/\.unwrap\(\)/ || /\.expect\(/) {
+                 print FILENAME ":" FNR ": " $0
+             }' "$f"
+    done
+)
+if [ -n "$violations" ]; then
+    echo "$violations"
+    echo "verify: unwrap()/expect() are forbidden in lossy-parsing and persistence code"
+    exit 1
+fi
+
 echo "verify: all gates green"

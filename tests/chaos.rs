@@ -1,0 +1,371 @@
+//! Chaos suite: seeded fault injection against the persistence layer,
+//! the ingest path, and the checkpoint/resume machinery — through the
+//! real `wikistale` binary where the contract is about exit codes, and
+//! through the libraries where it is about types.
+//!
+//! The invariant under test everywhere: an injected fault ends in a
+//! typed error or a quarantine entry — never a panic, never a silently
+//! wrong answer. Every fault comes from a [`FaultInjector`] seed, so a
+//! red run is reproducible from its assertion message alone.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use wikistale_synth::fault::{FaultInjector, TEXT_FAULTS};
+use wikistale_synth::{generate, SynthConfig};
+use wikistale_wikicube::{binio, Date};
+use wikistale_wikitext::xml::{render_export, PageDump, Revision};
+use wikistale_wikitext::PageStream;
+
+/// Exit code of the `--crash-after` hook (see `cli/src/commands.rs`).
+const CRASH_EXIT: i32 = 42;
+
+fn wikistale(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wikistale"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wikistale-chaos-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output
+        .status
+        .code()
+        .expect("process was not killed by a signal")
+}
+
+/// A well-formed dump of `n` pages, one update per page per year.
+fn sample_dump(n: usize) -> String {
+    let pages: Vec<PageDump> = (0..n)
+        .map(|i| PageDump {
+            title: format!("Page {i}"),
+            revisions: (0..3)
+                .map(|r| Revision {
+                    date: Date::EPOCH + (i as i32) + 365 * r,
+                    text: format!("{{{{Infobox chaos | field = {i}.{r}}}}}"),
+                })
+                .collect(),
+        })
+        .collect();
+    render_export(&pages)
+}
+
+// ---------------------------------------------------------------------
+// Corrupt cube files
+
+#[test]
+fn corrupted_cube_bytes_always_yield_typed_errors() {
+    let pristine = binio::encode(&generate(&SynthConfig::tiny()).cube);
+    for seed in 0..40u64 {
+        let mut inj = FaultInjector::new(seed);
+        let mut bytes = pristine.clone();
+        match seed % 4 {
+            0 => inj.flip_bits(&mut bytes, 1 + (seed as usize % 64)),
+            1 => inj.truncate(&mut bytes),
+            2 => inj.insert_garbage(&mut bytes, 64),
+            _ => bytes = inj.partial_write(&bytes),
+        }
+        if bytes == pristine {
+            continue; // a repeated bit flip can cancel itself out
+        }
+        // Typed error, never a panic, never a silently decoded cube.
+        let err = binio::decode(&bytes).expect_err(&format!("seed {seed} must not decode"));
+        let _ = err.to_string(); // and the error must render
+    }
+}
+
+#[test]
+fn corrupted_cube_file_exits_with_corruption_code() {
+    let dir = tmpdir("cube");
+    let pristine = binio::encode(&generate(&SynthConfig::tiny()).cube);
+    for seed in [7u64, 8, 9, 10] {
+        let mut inj = FaultInjector::new(seed);
+        let mut bytes = pristine.clone();
+        match seed % 4 {
+            0 => inj.flip_bits(&mut bytes, 17),
+            1 => inj.truncate(&mut bytes),
+            2 => inj.insert_garbage(&mut bytes, 64),
+            _ => bytes = inj.partial_write(&bytes),
+        }
+        let path = dir.join(format!("corrupt-{seed}.wcube"));
+        std::fs::write(&path, &bytes).unwrap();
+        let out = wikistale(&["stats", "--in", path.to_str().unwrap()]);
+        assert_eq!(
+            exit_code(&out),
+            4,
+            "seed {seed}: corrupt input must exit 4, stderr: {}",
+            stderr(&out)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Corrupt XML dumps
+
+#[test]
+fn corrupted_xml_never_panics_the_lossy_stream() {
+    let pristine = sample_dump(30);
+    for &fault in &TEXT_FAULTS {
+        for seed in 0..8u64 {
+            let mut xml = pristine.clone();
+            FaultInjector::new(seed).corrupt_text(&mut xml, fault);
+            // Strict parsing may fail, but with a typed error.
+            if let Err(e) = wikistale_wikitext::parse_export(&xml) {
+                let _ = e.to_string();
+            }
+            // The recovering stream absorbs the fault: every yielded item
+            // is a page (no budget configured, an in-memory reader cannot
+            // fail), and the books balance.
+            let mut stream = PageStream::lossy(xml.as_bytes());
+            let mut ok_pages = 0usize;
+            for item in &mut stream {
+                let page = item
+                    .unwrap_or_else(|e| panic!("{fault:?} seed {seed}: lossy stream errored: {e}"));
+                assert!(!page.title.is_empty());
+                ok_pages += 1;
+            }
+            let report = stream.into_quarantine();
+            assert_eq!(report.pages_ok, ok_pages, "{fault:?} seed {seed}");
+            assert_eq!(
+                report.pages_seen(),
+                report.pages_ok + report.pages_quarantined,
+                "{fault:?} seed {seed}"
+            );
+            assert!(report.pages_seen() <= 30, "{fault:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn lossy_ingest_recovers_where_strict_ingest_refuses() {
+    let dir = tmpdir("xml");
+    // Unbalance a closing tag — reliably fatal to the strict parser.
+    let mut xml = sample_dump(12);
+    FaultInjector::new(3).corrupt_text(&mut xml, wikistale_synth::TextFault::DropClosingTag);
+    let xml_path = dir.join("dump.xml");
+    std::fs::write(&xml_path, &xml).unwrap();
+    let xml_s = xml_path.to_str().unwrap();
+    let out_cube = dir.join("out.wcube");
+    let out_s = out_cube.to_str().unwrap();
+
+    let strict = wikistale(&["ingest", "--xml", xml_s, "--out", out_s]);
+    assert_eq!(exit_code(&strict), 4, "stderr: {}", stderr(&strict));
+
+    let q = dir.join("quarantine.json");
+    let lossy = wikistale(&[
+        "ingest",
+        "--xml",
+        xml_s,
+        "--out",
+        out_s,
+        "--lossy",
+        "--quarantine",
+        q.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&lossy), 0, "stderr: {}", stderr(&lossy));
+    assert!(out_cube.exists());
+    assert!(stderr(&lossy).contains("quarantine"), "{}", stderr(&lossy));
+    // The written report is valid JSON and accounts for the loss.
+    let report = std::fs::read_to_string(&q).unwrap();
+    let v = wikistale_obs::json::parse(&report).unwrap();
+    let quarantined = v.get("pages_quarantined").and_then(|x| x.as_f64()).unwrap();
+    let skipped = v.get("revisions_skipped").and_then(|x| x.as_f64()).unwrap();
+    assert!(
+        quarantined + skipped >= 1.0,
+        "the dropped tag must show up in the report: {report}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exhausted_error_budget_exits_with_budget_code() {
+    let dir = tmpdir("budget");
+    // 22 good pages, then 3 with no <title>: the stream sees ≥ 20 pages
+    // before the quarantined fraction rises above a zero budget.
+    let mut xml = sample_dump(22);
+    for i in 0..3 {
+        xml.push_str(&format!(
+            "<page><revision><timestamp>2019-01-01T00:00:00Z</timestamp>\
+             <text>broken {i}</text></revision></page>"
+        ));
+    }
+    let xml_path = dir.join("dump.xml");
+    std::fs::write(&xml_path, &xml).unwrap();
+    let out = wikistale(&[
+        "ingest",
+        "--xml",
+        xml_path.to_str().unwrap(),
+        "--out",
+        dir.join("out.wcube").to_str().unwrap(),
+        "--error-budget",
+        "0",
+    ]);
+    assert_eq!(exit_code(&out), 5, "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("error budget exceeded"),
+        "{}",
+        stderr(&out)
+    );
+    // The post-mortem summary still went out.
+    assert!(stderr(&out).contains("quarantine:"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Mid-write crashes
+
+#[test]
+fn a_crashed_rewrite_leaves_the_previous_file_readable() {
+    let dir = tmpdir("atomic");
+    let cube_path = dir.join("data.wcube");
+    let cube_s = cube_path.to_str().unwrap();
+    let out = wikistale(&["generate", "--preset", "tiny", "--out", cube_s]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    let pristine = std::fs::read(&cube_path).unwrap();
+
+    // Simulate dying mid-rewrite: a partial temp file appears next to
+    // the real one, exactly where the atomic writer stages its bytes.
+    let partial = FaultInjector::new(11).partial_write(&pristine);
+    std::fs::write(dir.join("data.wcube.tmp.9999"), &partial).unwrap();
+
+    // The original is untouched and still fully readable.
+    let out = wikistale(&["stats", "--in", cube_s]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    assert_eq!(std::fs::read(&cube_path).unwrap(), pristine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / resume
+
+#[test]
+fn killed_experiment_resumes_to_byte_identical_results() {
+    let dir = tmpdir("resume");
+    // Reference: one uninterrupted checkpointed run.
+    let ref_ckpt = dir.join("ref");
+    let reference = wikistale(&[
+        "experiment",
+        "--preset",
+        "tiny",
+        "--checkpoint-dir",
+        ref_ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&reference), 0, "stderr: {}", stderr(&reference));
+    let reference_stdout = stdout(&reference);
+    assert!(reference_stdout.contains("OR-ensemble"));
+
+    // Kill after every stage in turn; each crash must leave a loadable
+    // manifest, and each resume must reproduce the reference verbatim.
+    let stages = [
+        "generate",
+        "filter",
+        "train",
+        "granularity_1",
+        "granularity_7",
+        "granularity_30",
+        "granularity_365",
+    ];
+    for stage in stages {
+        let ckpt = dir.join(format!("kill-{stage}"));
+        let ckpt_s = ckpt.to_str().unwrap();
+        let killed = wikistale(&[
+            "experiment",
+            "--preset",
+            "tiny",
+            "--checkpoint-dir",
+            ckpt_s,
+            "--crash-after",
+            stage,
+        ]);
+        assert_eq!(
+            exit_code(&killed),
+            CRASH_EXIT,
+            "stage {stage}: stderr: {}",
+            stderr(&killed)
+        );
+        // The manifest survived the crash intact (atomic writes).
+        wikistale_core::checkpoint::CheckpointManifest::load(&ckpt)
+            .expect("manifest parses after crash")
+            .expect("manifest exists after crash");
+
+        let resumed = wikistale(&[
+            "experiment",
+            "--preset",
+            "tiny",
+            "--checkpoint-dir",
+            ckpt_s,
+            "--resume",
+        ]);
+        assert_eq!(
+            exit_code(&resumed),
+            0,
+            "stage {stage}: stderr: {}",
+            stderr(&resumed)
+        );
+        assert_eq!(
+            stdout(&resumed),
+            reference_stdout,
+            "resume after {stage} crash must reproduce the reference run exactly"
+        );
+        assert!(
+            stderr(&resumed).contains("resume: reusing"),
+            "stage {stage}: resume must reuse checkpointed artifacts: {}",
+            stderr(&resumed)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_refuses_a_corrupted_checkpoint_artifact() {
+    let dir = tmpdir("badckpt");
+    let ckpt = dir.join("ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let killed = wikistale(&[
+        "experiment",
+        "--preset",
+        "tiny",
+        "--checkpoint-dir",
+        ckpt_s,
+        "--crash-after",
+        "filter",
+    ]);
+    assert_eq!(exit_code(&killed), CRASH_EXIT, "{}", stderr(&killed));
+
+    // Bit-rot the generate artifact behind the manifest's back.
+    let artifact = ckpt.join("generate.wcube");
+    let mut bytes = std::fs::read(&artifact).unwrap();
+    FaultInjector::new(21).flip_bits(&mut bytes, 3);
+    std::fs::write(&artifact, &bytes).unwrap();
+
+    let resumed = wikistale(&[
+        "experiment",
+        "--preset",
+        "tiny",
+        "--checkpoint-dir",
+        ckpt_s,
+        "--resume",
+    ]);
+    assert_eq!(
+        exit_code(&resumed),
+        4,
+        "a corrupt artifact must be a corruption error, not silently reused: {}",
+        stderr(&resumed)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
