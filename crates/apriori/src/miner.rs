@@ -58,12 +58,25 @@ pub fn frequent_itemsets(
         return result;
     }
 
-    // Level 1: direct counting.
+    // Level 1: direct counting, sharded over transaction chunks. Chunk
+    // counts are merged by element-wise u64 addition — exactly
+    // associative and commutative, so the totals are independent of
+    // chunking and scheduling.
     let universe = ts.max_item().map_or(0, |m| m as usize + 1);
+    let chunk_counts =
+        wikistale_exec::par_ranges("apriori_items", ts.len(), COUNT_CHUNK, |range| {
+            let mut counts = vec![0u64; universe];
+            for i in range {
+                for &item in ts.transaction(i) {
+                    counts[item as usize] += 1;
+                }
+            }
+            counts
+        });
     let mut item_counts = vec![0u64; universe];
-    for t in ts.iter() {
-        for &i in t {
-            item_counts[i as usize] += 1;
+    for counts in chunk_counts {
+        for (total, partial) in item_counts.iter_mut().zip(counts) {
+            *total += partial;
         }
     }
     let mut level: Vec<FrequentItemset> = item_counts
@@ -131,39 +144,69 @@ fn generate_candidates(level: &[FrequentItemset]) -> Vec<Vec<u32>> {
     candidates
 }
 
-/// Count candidate support in one transaction scan; keep those ≥ min_count.
+/// Transactions per counting chunk: infobox-week transactions are tiny,
+/// so chunks stay coarse enough to amortize the per-chunk count vector.
+const COUNT_CHUNK: usize = 2_048;
+
+/// Count candidate support sharded over transaction chunks; keep
+/// candidates with total support ≥ min_count.
+///
+/// Each chunk accumulates into a dense `Vec<u64>` keyed by candidate
+/// index (a mergeable count map); merging is element-wise addition, so
+/// the totals cannot depend on chunk scheduling, and the per-transaction
+/// counting strategy (subset enumeration vs. candidate scan) depends only
+/// on the transaction and the candidate count — identical in every chunk.
 fn count_candidates(
     ts: &TransactionSet,
     candidates: Vec<Vec<u32>>,
     k: usize,
     min_count: u64,
 ) -> Vec<FrequentItemset> {
-    let mut counts: HashMap<Vec<u32>, u64> = candidates.into_iter().map(|c| (c, 0)).collect();
-    let mut subset_buf = Vec::with_capacity(k);
-    for t in ts.iter() {
-        if t.len() < k {
-            continue;
-        }
-        // For small transactions enumerate k-subsets and probe the map;
-        // the binomial is tiny for infobox-week transactions. For long
-        // transactions fall back to testing each candidate.
-        if binomial(t.len(), k) <= 4 * counts.len() as u64 {
-            enumerate_subsets(t, k, &mut subset_buf, &mut |subset| {
-                if let Some(c) = counts.get_mut(subset) {
-                    *c += 1;
+    let candidate_pos: HashMap<&[u32], usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.as_slice(), i))
+        .collect();
+    let chunk_counts =
+        wikistale_exec::par_ranges("apriori_support", ts.len(), COUNT_CHUNK, |range| {
+            let mut counts = vec![0u64; candidates.len()];
+            let mut subset_buf = Vec::with_capacity(k);
+            for i in range {
+                let t = ts.transaction(i);
+                if t.len() < k {
+                    continue;
                 }
-            });
-        } else {
-            for (cand, c) in counts.iter_mut() {
-                if crate::transactions::is_subset(cand, t) {
-                    *c += 1;
+                // For small transactions enumerate k-subsets and probe
+                // the map; the binomial is tiny for infobox-week
+                // transactions. For long transactions fall back to
+                // testing each candidate.
+                if binomial(t.len(), k) <= 4 * candidates.len() as u64 {
+                    enumerate_subsets(t, k, &mut subset_buf, &mut |subset| {
+                        if let Some(&pos) = candidate_pos.get(subset) {
+                            counts[pos] += 1;
+                        }
+                    });
+                } else {
+                    for (pos, cand) in candidates.iter().enumerate() {
+                        if crate::transactions::is_subset(cand, t) {
+                            counts[pos] += 1;
+                        }
+                    }
                 }
             }
+            counts
+        });
+    let mut totals = vec![0u64; candidates.len()];
+    for counts in chunk_counts {
+        for (total, partial) in totals.iter_mut().zip(counts) {
+            *total += partial;
         }
     }
-    let mut level: Vec<FrequentItemset> = counts
+    drop(candidate_pos);
+    let mut level: Vec<FrequentItemset> = candidates
         .into_iter()
-        .filter(|&(_, c)| c >= min_count)
+        .zip(totals)
+        .filter(|&(_, count)| count >= min_count)
         .map(|(items, count)| FrequentItemset { items, count })
         .collect();
     level.sort_by(|a, b| a.items.cmp(&b.items));

@@ -6,7 +6,8 @@ use std::path::{Path, PathBuf};
 use wikistale_apriori::Support;
 use wikistale_core::checkpoint::{self, CheckpointManifest};
 use wikistale_core::experiment::{
-    run_paper_evaluation, run_paper_evaluation_resumable, ExperimentConfig,
+    run_paper_evaluation, run_paper_evaluation_resumable, run_paper_evaluation_serial,
+    ExperimentConfig, PaperResults,
 };
 use wikistale_core::filters::FilterPipeline;
 use wikistale_core::predictors::DistanceNorm;
@@ -38,11 +39,17 @@ USAGE:
                      [--no-min-changes] [--vs-paper] [--theta F]
                      [--support F] [--confidence F] [--day-count-norm]
                      [--checkpoint-dir <dir>] [--resume]
+  wikistale bench    [--preset tiny|small|medium] [--seed N] [--scale F]
+                     [--no-min-changes] [--out <BENCH_parallel.json>]
 
 Every subcommand additionally accepts:
   --metrics <path>            write a pipeline-stage metrics report
                               (use `-` for stdout)
   --metrics-format json|table report format (default json)
+  --threads N                 worker threads for the parallel stages
+                              (default: WIKISTALE_THREADS, else all
+                              cores; results are byte-identical at any
+                              thread count)
 
 `ingest --lossy` quarantines malformed pages instead of aborting; a
 summary of everything skipped goes to stderr, the full report to
@@ -55,6 +62,11 @@ its top-level stage times sum to the wall time. With
 `--checkpoint-dir <dir>` each completed stage is recorded there
 atomically, and `--resume` picks up after a crash, skipping verified
 finished work; results are identical to an uninterrupted run.
+
+`bench` runs the full pipeline twice — once at --threads 1, once at the
+resolved parallel thread count — verifies the results match exactly, and
+records both wall times plus per-stage timings as JSON (default
+BENCH_parallel.json).
 
 Cube files use the versioned wikicube binary format (.wcube).
 
@@ -69,6 +81,16 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     // Each invocation reports its own pipeline run (tests call `run`
     // several times per process).
     wikistale_obs::MetricsRegistry::global().reset();
+    // --threads is global like --metrics. Absent, the worker count falls
+    // back to WIKISTALE_THREADS, then to the machine's parallelism; the
+    // explicit reset matters because tests call `run` repeatedly in one
+    // process. Thread count never changes artifact bytes — only wall
+    // time — so it is deliberately absent from checkpoint fingerprints.
+    match get_parsed::<usize>(&args, "threads")? {
+        Some(0) => return Err(CliError::Usage("--threads must be at least 1".into())),
+        Some(n) => wikistale_exec::set_threads(n),
+        None => wikistale_exec::set_threads(0),
+    }
     let result = match args.positional(0) {
         None | Some("help") => {
             print!("{USAGE}");
@@ -87,6 +109,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         Some("anomalies") => cmd_anomalies(&args),
         Some("top") => cmd_top(&args),
         Some("figures") => cmd_figures(&args),
+        Some("bench") => cmd_bench(&args),
         Some(other) => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
         ))),
@@ -98,9 +121,9 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
 }
 
 fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), CliError> {
-    // The metrics flags are accepted by every subcommand.
+    // The metrics and threading flags are accepted by every subcommand.
     let mut known: Vec<&str> = known.to_vec();
-    known.extend(["metrics", "metrics-format"]);
+    known.extend(["metrics", "metrics-format", "threads"]);
     let unknown = args.unknown_flags(&known);
     if unknown.is_empty() {
         Ok(())
@@ -504,7 +527,12 @@ fn cmd_experiment(args: &Args) -> Result<(), CliError> {
     }
 
     // The checkpoint is bound to the exact configuration; the Debug
-    // formats cover every tunable (seed, scale, thresholds, …).
+    // formats cover every tunable (seed, scale, thresholds, …). The
+    // thread count is deliberately NOT part of the fingerprint: the
+    // execution layer guarantees byte-identical artifacts at any
+    // --threads value, so a checkpoint written at --threads 1 must
+    // resume under --threads 4 and vice versa (the differential suite
+    // pins this).
     let fp = checkpoint::fingerprint(&format!(
         "{config:?}|no-min-changes={no_min_changes}|{exp_config:?}"
     ));
@@ -571,6 +599,132 @@ fn cmd_experiment(args: &Args) -> Result<(), CliError> {
         println!("{}", report::render_table1(&results));
     }
     println!("{}", report::render_overlap(&results));
+    Ok(())
+}
+
+/// What one `bench` leg reports: the evaluation results, the wall-clock
+/// milliseconds, and the top-level per-stage timings (label, ms).
+type BenchLeg = (PaperResults, f64, Vec<(String, f64)>);
+
+/// One timed leg of `bench`: the full pipeline (generate → filter →
+/// train → evaluate) at a pinned thread count, with a fresh metrics run
+/// so the per-stage breakdown belongs to this leg alone.
+fn bench_leg(
+    config: &SynthConfig,
+    exp_config: &ExperimentConfig,
+    no_min_changes: bool,
+    threads: usize,
+) -> Result<BenchLeg, CliError> {
+    wikistale_exec::set_threads(threads);
+    let registry = wikistale_obs::MetricsRegistry::global();
+    registry.reset();
+    let wall = std::time::Instant::now();
+    let corpus = wikistale_synth::try_generate(config)?;
+    let pipeline = if no_min_changes {
+        FilterPipeline::without_min_changes()
+    } else {
+        FilterPipeline::paper()
+    };
+    let (filtered, _) = pipeline.apply(&corpus.cube);
+    drop(corpus);
+    let span = filtered
+        .time_span()
+        .ok_or_else(|| CliError::Other("filtered cube is empty — nothing to bench".into()))?;
+    let split = EvalSplit::for_span(span).ok_or_else(|| {
+        CliError::Other("corpus spans less than the two years needed for validation + test".into())
+    })?;
+    let results = if threads <= 1 {
+        run_paper_evaluation_serial(&filtered, &split, exp_config)
+    } else {
+        run_paper_evaluation(&filtered, &split, exp_config)
+    };
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let snapshot = registry.snapshot();
+    let mut stages: Vec<(String, f64)> = snapshot
+        .spans
+        .iter()
+        .filter(|(path, _)| !path.contains('/'))
+        .map(|(path, stat)| (path.clone(), stat.total.as_secs_f64() * 1e3))
+        .collect();
+    stages.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    Ok((results, wall_ms, stages))
+}
+
+fn bench_stage_json(stages: &[(String, f64)]) -> String {
+    let entries: Vec<String> = stages
+        .iter()
+        .map(|(name, ms)| format!("    \"{}\": {:.3}", name.replace('"', ""), ms))
+        .collect();
+    format!("{{\n{}\n  }}", entries.join(",\n"))
+}
+
+fn cmd_bench(args: &Args) -> Result<(), CliError> {
+    reject_unknown(
+        args,
+        &[
+            "preset",
+            "seed",
+            "scale",
+            "no-min-changes",
+            "theta",
+            "support",
+            "confidence",
+            "day-count-norm",
+            "out",
+        ],
+    )?;
+    let config = synth_config(args)?;
+    let exp_config = experiment_config(args)?;
+    let no_min_changes = args.has("no-min-changes");
+    let out = args.get("out").unwrap_or("BENCH_parallel.json");
+    // Parallel leg: the resolved thread count, or 4 when the machine (or
+    // configuration) resolves to a single worker — a 1-vs-1 comparison
+    // would measure nothing.
+    let resolved = wikistale_exec::threads();
+    let parallel_threads = if resolved > 1 { resolved } else { 4 };
+
+    let (serial_results, serial_ms, serial_stages) =
+        bench_leg(&config, &exp_config, no_min_changes, 1)?;
+    let (parallel_results, parallel_ms, parallel_stages) =
+        bench_leg(&config, &exp_config, no_min_changes, parallel_threads)?;
+    // Restore the dispatch-time configuration (each leg pinned its own).
+    match get_parsed::<usize>(args, "threads")? {
+        Some(n) => wikistale_exec::set_threads(n),
+        None => wikistale_exec::set_threads(0),
+    }
+
+    // The bench doubles as an end-to-end differential check.
+    if serial_results != parallel_results {
+        return Err(CliError::Other(
+            "bench: parallel results diverged from serial — determinism bug".into(),
+        ));
+    }
+    let speedup = if parallel_ms > 0.0 {
+        serial_ms / parallel_ms
+    } else {
+        0.0
+    };
+    let json = format!(
+        "{{\n  \"preset\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \
+         \"serial_wall_ms\": {:.3},\n  \"parallel_wall_ms\": {:.3},\n  \
+         \"speedup\": {:.4},\n  \"identical_results\": true,\n  \
+         \"serial_stages_ms\": {},\n  \"parallel_stages_ms\": {}\n}}\n",
+        args.get("preset").unwrap_or("small").replace('"', ""),
+        config.seed,
+        parallel_threads,
+        serial_ms,
+        parallel_ms,
+        speedup,
+        bench_stage_json(&serial_stages),
+        bench_stage_json(&parallel_stages),
+    );
+    std::fs::write(out, &json).map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
+    println!(
+        "bench: serial {serial_ms:.0} ms, parallel ({parallel_threads} threads) \
+         {parallel_ms:.0} ms, speedup {speedup:.2}x"
+    );
+    println!("bench: serial and parallel results identical");
+    println!("wrote bench report → {out}");
     Ok(())
 }
 

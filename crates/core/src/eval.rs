@@ -76,19 +76,29 @@ pub fn wilson_interval(successes: usize, trials: usize) -> (f64, f64) {
 /// This is what the paper measures against — note §5.4's caveat that a
 /// *genuinely* forgotten update counts as a false positive here.
 pub fn truth_set(index: &CubeIndex, range: DateRange, granularity: u32) -> PredictionSet {
-    let mut set = PredictionSet::new(range, granularity);
-    for pos in 0..index.num_fields() {
-        let days = index.days(pos);
-        let lo = days.partition_point(|&d| d < range.start());
-        for &day in &days[lo..] {
-            if day >= range.end() {
-                break;
+    // Field chunks produce (field, window) items independently; the
+    // chunk results are concatenated in chunk (= field) order and the
+    // final sort+dedup in `from_items` canonicalizes, so the set is
+    // byte-identical at any thread count.
+    let probe = PredictionSet::new(range, granularity);
+    let chunk_items =
+        wikistale_exec::par_ranges("truth_fields", index.num_fields(), 4_096, |positions| {
+            let mut items: Vec<(u32, u32)> = Vec::new();
+            for pos in positions {
+                let days = index.days(pos);
+                let lo = days.partition_point(|&d| d < range.start());
+                for &day in &days[lo..] {
+                    if day >= range.end() {
+                        break;
+                    }
+                    if let Some(window) = probe.window_of(day) {
+                        items.push((pos as u32, window));
+                    }
+                }
             }
-            set.insert_day(pos as u32, day);
-        }
-    }
-    set.seal();
-    set
+            items
+        });
+    PredictionSet::from_items(range, granularity, chunk_items.concat())
 }
 
 /// Score `predictions` against `truth`.

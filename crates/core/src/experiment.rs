@@ -325,26 +325,20 @@ fn results_for(
     eval_range: DateRange,
     concurrency: Concurrency,
 ) -> PaperResults {
-    // The four granularities are independent; evaluate them concurrently
-    // unless the caller wants one nested span tree on this thread.
-    let per_granularity = match concurrency {
-        Concurrency::Serial => crate::GRANULARITIES
-            .iter()
-            .map(|&g| evaluate_granularity(data, predictors, eval_range, g, g == 7))
-            .collect::<Vec<_>>(),
-        Concurrency::Parallel => std::thread::scope(|s| {
-            let handles: Vec<_> = crate::GRANULARITIES
-                .iter()
-                .map(|&g| {
-                    s.spawn(move || evaluate_granularity(data, predictors, eval_range, g, g == 7))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("granularity worker panicked"))
-                .collect::<Vec<_>>()
-        }),
+    // The four granularities are independent window sweeps; run them as
+    // engine tasks (slot-merged, so the result order is always the
+    // `GRANULARITIES` order) unless the caller wants one nested span tree
+    // on this thread — the serial engine runs the identical code path on
+    // the caller thread.
+    use wikistale_exec::{Engine, Execute};
+    let engine = match concurrency {
+        Concurrency::Serial => Engine::serial(),
+        Concurrency::Parallel => Engine::current(),
     };
+    let per_granularity = engine.run_tasks("granularities", crate::GRANULARITIES.len(), |task| {
+        let g = crate::GRANULARITIES[task];
+        evaluate_granularity(data, predictors, eval_range, g, g == 7)
+    });
 
     let mut rules_per_template: Vec<(TemplateId, usize)> =
         predictors.assoc.rules_per_template().into_iter().collect();

@@ -194,7 +194,9 @@ fn mine_rules(data: &EvalData<'_>, range: DateRange, apriori: &AprioriParams) ->
         .filter(|(_, txs)| !txs.is_empty())
         .collect();
 
-    let chunk_results = parallel_chunks("assoc_templates", &jobs, 32, |chunk| {
+    // Chunk size 8: templates are few but heavy, small chunks let the
+    // work-stealing engine balance skewed template sizes.
+    let chunk_results = parallel_chunks("assoc_templates", &jobs, 8, |chunk| {
         let mut rules = Vec::new();
         for (template_idx, txs) in chunk {
             // Template-local dense item ids.

@@ -430,6 +430,49 @@ mod tests {
                 prop_assert!((dlag - dlag_rev).abs() < 1e-12, "lagged symmetry");
             }
         }
+
+        /// Metamorphic relation: duplicating a single day's change k times
+        /// in one history moves it monotonically *away* from the original.
+        /// Under TotalMass the exact value is k / (2|a∩r| + k); DayCount
+        /// gives min(k / |r|, 1). Both are increasing in k, and the greedy
+        /// lagged matcher inherits the property because the padded copies
+        /// can never free up a better match for the shared prefix.
+        #[test]
+        fn prop_duplicate_multiplicity_is_monotone(
+            a in proptest::collection::vec(0i32..10, 0..40),
+            x in 0i32..10,
+            k1 in 1usize..5,
+            extra in 1usize..5,
+            lag in 0u32..3,
+        ) {
+            let mut base = a; base.sort_unstable();
+            let av: Vec<Date> = base.iter().map(|&d| day(d)).collect();
+            let k2 = k1 + extra;
+            let pad = |k: usize| -> Vec<Date> {
+                let mut v = base.clone();
+                v.extend(std::iter::repeat_n(x, k));
+                v.sort_unstable();
+                v.iter().map(|&d| day(d)).collect()
+            };
+            let (b1, b2) = (pad(k1), pad(k2));
+            let r = range(10);
+            for norm in [DistanceNorm::TotalMass, DistanceNorm::DayCount] {
+                let d1 = change_distance(&av, &b1, r, norm);
+                let d2 = change_distance(&av, &b2, r, norm);
+                prop_assert!(d1 <= d2 + 1e-12,
+                    "plain {norm:?}: k={k1} gave {d1}, k={k2} gave {d2}");
+                let l1 = change_distance_lagged(&av, &b1, r, norm, lag);
+                let l2 = change_distance_lagged(&av, &b2, r, norm, lag);
+                prop_assert!(l1 <= l2 + 1e-12,
+                    "lagged {norm:?}: k={k1} gave {l1}, k={k2} gave {l2}");
+            }
+            // Closed form under TotalMass: the shared prefix matches
+            // exactly, leaving the k padded copies as the whole diff.
+            let mass = 2 * av.len() + k1;
+            let want = k1 as f64 / mass as f64;
+            let got = change_distance(&av, &b1, r, DistanceNorm::TotalMass);
+            prop_assert!((got - want).abs() < 1e-12, "closed form: {got} vs {want}");
+        }
     }
 
     /// Cube with a page hosting a tight pair, a loose pair, and an
@@ -611,6 +654,89 @@ mod tests {
             },
         );
         assert_eq!(lagged.num_rules(), 1);
+    }
+
+    /// Metamorphic relation: the trained rule set is a function of the
+    /// *logical* change log, not of the order pages/properties/changes
+    /// were fed to the builder. Interned ids differ between the two
+    /// cubes, so the comparison resolves every rule back to name pairs.
+    #[test]
+    fn training_invariant_under_page_insertion_order() {
+        use std::collections::BTreeSet;
+
+        // (entity, template, page, property, day) tuples for two pages
+        // with a tight pair each plus an uncorrelated field.
+        let log: Vec<(&str, &str, &str, &str, i32)> = {
+            let mut v = Vec::new();
+            for d in [10, 40, 70, 100, 130] {
+                v.push(("Club", "infobox club", "FC A", "home", d));
+                v.push(("Club", "infobox club", "FC A", "away", d));
+                v.push(("Person", "infobox person", "B. Person", "club", d + 1));
+                v.push(("Person", "infobox person", "B. Person", "caps", d + 1));
+            }
+            for d in [5, 55, 105] {
+                v.push(("Club", "infobox club", "FC A", "stadium", d));
+            }
+            v
+        };
+
+        let build = |order: &[usize]| {
+            let mut b = ChangeCubeBuilder::new();
+            for &i in order {
+                let (ent, tpl, page, prop, d) = log[i];
+                let e = b.entity(ent, tpl, page);
+                let p = b.property(prop);
+                b.change(day(d), e, p, "v", ChangeKind::Update);
+            }
+            let cube = b.finish();
+            let index = CubeIndex::build(&cube);
+            (cube, index)
+        };
+
+        // Resolve every directed rule edge to names so the sets compare
+        // across cubes with different interner orderings.
+        let rule_names = |cube: &wikistale_wikicube::ChangeCube,
+                          index: &CubeIndex|
+         -> BTreeSet<(String, String, String)> {
+            let mut out = BTreeSet::new();
+            let data = EvalData::new(cube, index);
+            let fc = FieldCorrelation::train(&data, range(150), FieldCorrelationParams::default());
+            for pos in 0..index.num_fields() {
+                let f = index.field(pos);
+                for &partner in fc.partners_of(pos as u32) {
+                    let g = index.field(partner as usize);
+                    assert_eq!(f.entity, g.entity, "rules never cross pages");
+                    out.insert((
+                        cube.entity_name(f.entity).to_string(),
+                        cube.property_name(f.property).to_string(),
+                        cube.property_name(g.property).to_string(),
+                    ));
+                }
+            }
+            out
+        };
+
+        let forward: Vec<usize> = (0..log.len()).collect();
+        // A fixed "shuffle": reversed, so the Person page and the later
+        // days are interned first, flipping every id assignment.
+        let reversed: Vec<usize> = (0..log.len()).rev().collect();
+        // And an order that alternates between the two ends of the log.
+        let n = log.len();
+        let interleaved: Vec<usize> = (0..n)
+            .map(|i| if i % 2 == 0 { n - 1 - i / 2 } else { i / 2 })
+            .collect();
+
+        let (c1, i1) = build(&forward);
+        let names = rule_names(&c1, &i1);
+        assert!(!names.is_empty(), "baseline training found no rules");
+        for order in [&reversed, &interleaved] {
+            let (c2, i2) = build(order);
+            assert_eq!(
+                names,
+                rule_names(&c2, &i2),
+                "rule set changed under insertion order {order:?}"
+            );
+        }
     }
 
     proptest! {

@@ -12,77 +12,29 @@ pub use mean_baseline::MeanBaseline;
 pub use seasonal::{SeasonalParams, SeasonalPredictor};
 pub use threshold_baseline::ThresholdBaseline;
 
-use std::time::{Duration, Instant};
-use wikistale_obs::MetricsRegistry;
-
-/// Map chunks of `items` in parallel with scoped threads and collect the
-/// chunk results in order.
+/// Map fixed-size chunks of `items` on the work-stealing engine and
+/// collect the chunk results in chunk order.
 ///
 /// Used for the per-page correlation search and per-template rule mining,
-/// both embarrassingly parallel. Each chunk's wall time is recorded in
-/// the global [`MetricsRegistry`] under `parallel/<label>/chunk`, along
-/// with gauges for the chunk count and the imbalance ratio
-/// (slowest chunk / mean chunk) of the most recent invocation.
-pub(crate) fn parallel_chunks<T, R, F>(label: &str, items: &[T], num_chunks: usize, f: F) -> Vec<R>
+/// both embarrassingly parallel. The heavy lifting lives in
+/// [`wikistale_exec::par_chunks`]: chunk boundaries derive only from
+/// `chunk_size` (never from the worker count), so results — and therefore
+/// every trained model — are byte-identical across `--threads` settings.
+/// Per-chunk wall times and per-worker scheduling stats land under
+/// `parallel/<label>/…` in the global metrics registry.
+pub(crate) fn parallel_chunks<T, R, F>(label: &str, items: &[T], chunk_size: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&[T]) -> R + Sync,
 {
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(num_chunks.max(1));
-    let chunk_size = items.len().div_ceil(threads);
-    let timed_f = |chunk: &[T]| {
-        let start = Instant::now();
-        let result = f(chunk);
-        (result, start.elapsed())
-    };
-    let timed: Vec<(R, Duration)> = if threads <= 1 || items.len() < 2 * threads {
-        vec![timed_f(items)]
-    } else {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = items
-                .chunks(chunk_size)
-                .map(|chunk| s.spawn(|| timed_f(chunk)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-    };
-    record_chunk_stats(label, &timed);
-    timed.into_iter().map(|(result, _)| result).collect()
-}
-
-fn record_chunk_stats<R>(label: &str, timed: &[(R, Duration)]) {
-    let registry = MetricsRegistry::global();
-    let chunk_path = format!("parallel/{label}/chunk");
-    let mut total = Duration::ZERO;
-    let mut max = Duration::ZERO;
-    for (_, elapsed) in timed {
-        registry.record_duration(&chunk_path, *elapsed);
-        total += *elapsed;
-        max = max.max(*elapsed);
-    }
-    registry.gauge_set(&format!("parallel/{label}/chunks"), timed.len() as f64);
-    let mean = total.as_secs_f64() / timed.len() as f64;
-    if mean > 0.0 {
-        registry.gauge_set(
-            &format!("parallel/{label}/imbalance"),
-            max.as_secs_f64() / mean,
-        );
-    }
+    wikistale_exec::par_chunks(label, items, chunk_size, f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wikistale_obs::MetricsRegistry;
 
     #[test]
     fn parallel_chunks_covers_all_items() {

@@ -1,0 +1,504 @@
+//! # wikistale-exec
+//!
+//! Deterministic work-stealing execution layer for the wikistale pipeline.
+//!
+//! Every hot pipeline stage (cube building, field-correlation pairing,
+//! Apriori support counting, the evaluation sweep) runs through this crate
+//! so that one determinism contract covers them all:
+//!
+//! **The bytes of every artifact are a pure function of the input and the
+//! per-call-site chunk size — never of the worker count or the scheduling
+//! order.**
+//!
+//! The contract is enforced structurally:
+//!
+//! 1. **Fixed chunking.** Work is split into chunks whose boundaries
+//!    derive only from the input length and a fixed per-call-site chunk
+//!    size (adjustable globally for tests via [`override_scope`]). The
+//!    worker count never influences chunk boundaries — this is the key
+//!    difference from the classic `len / num_threads` split, which would
+//!    move floating-point merge order around as threads vary.
+//! 2. **Slot merge.** Each chunk's result is written to a slot indexed by
+//!    its chunk number; the caller receives results in chunk order no
+//!    matter which worker ran which chunk or in what order.
+//! 3. **Serial first-class.** With one worker (or one chunk) the engine
+//!    runs on the caller thread — same chunking, same merge — so
+//!    `--threads 1` exercises the identical code path that the
+//!    differential suite compares `--threads N` against, and `obs` span
+//!    nesting is preserved for serial metric attribution.
+//!
+//! Scheduling is work stealing over scoped threads: each worker owns a
+//! deque seeded with a contiguous block of chunk indices, pops its own
+//! front, and steals from the back of a victim's deque when it runs dry.
+//! Chunks are never re-queued, so a worker that observes every deque
+//! empty can exit immediately. Per-worker activity (tasks executed,
+//! steals, max queue depth) and per-chunk latency are reported under the
+//! `parallel/<label>/…` metric tree via [`wikistale_obs::parallel`].
+//!
+//! Worker-count resolution, in priority order: [`set_threads`] (the CLI
+//! `--threads` flag) → the `WIKISTALE_THREADS` environment variable →
+//! [`std::thread::available_parallelism`]. The resolved count is *not*
+//! part of any checkpoint fingerprint: artifacts produced at one thread
+//! count resume cleanly at any other.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+use wikistale_obs::parallel::{record_pool, WorkerReport};
+
+/// Explicit worker-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Global chunk-size override for differential tests; 0 means "not set".
+static CHUNK_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker count explicitly (the CLI `--threads` flag). `0`
+/// restores automatic resolution (env var, then available parallelism).
+pub fn set_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::SeqCst);
+}
+
+/// The resolved worker count: explicit override, else `WIKISTALE_THREADS`,
+/// else [`std::thread::available_parallelism`], else 1.
+pub fn threads() -> usize {
+    let explicit = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(value) = std::env::var("WIKISTALE_THREADS") {
+        if let Ok(parsed) = value.trim().parse::<usize>() {
+            if parsed > 0 {
+                return parsed;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The effective chunk size for a call site requesting `requested`:
+/// the global override if one is active, else `requested`, floored at 1.
+pub fn chunk_size(requested: usize) -> usize {
+    let forced = CHUNK_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        forced
+    } else {
+        requested.max(1)
+    }
+}
+
+/// Serializes tests that mutate the global overrides.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII scope that pins the worker count (and optionally the chunk size)
+/// and restores the previous configuration on drop.
+///
+/// Holding the guard also holds a global lock, serializing concurrent
+/// tests that would otherwise race on the process-wide configuration —
+/// required because `cargo test` runs tests of one binary concurrently.
+pub struct OverrideGuard {
+    prev_threads: usize,
+    prev_chunk: usize,
+    _lock: MutexGuard<'static, ()>,
+}
+
+/// Pin `threads` workers and, if `chunk_override > 0`, force every call
+/// site's chunk size to `chunk_override` until the guard drops.
+pub fn override_scope(threads: usize, chunk_override: usize) -> OverrideGuard {
+    let lock = OVERRIDE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let guard = OverrideGuard {
+        prev_threads: THREAD_OVERRIDE.load(Ordering::SeqCst),
+        prev_chunk: CHUNK_OVERRIDE.load(Ordering::SeqCst),
+        _lock: lock,
+    };
+    THREAD_OVERRIDE.store(threads, Ordering::SeqCst);
+    CHUNK_OVERRIDE.store(chunk_override, Ordering::SeqCst);
+    guard
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.store(self.prev_threads, Ordering::SeqCst);
+        CHUNK_OVERRIDE.store(self.prev_chunk, Ordering::SeqCst);
+    }
+}
+
+/// An execution strategy: maps task indices `0..num_tasks` to results,
+/// returned in task order. Both engines implement it so every stage keeps
+/// its serial implementation behind the same trait as the parallel one.
+pub trait Execute {
+    /// Run `f(0), f(1), …, f(num_tasks - 1)` and return the results in
+    /// task order. `label` names the pool in the `parallel/*` metric tree.
+    fn run_tasks<R, F>(&self, label: &str, num_tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync;
+}
+
+/// Runs every task on the caller thread, in task order.
+pub struct Serial;
+
+impl Execute for Serial {
+    fn run_tasks<R, F>(&self, label: &str, num_tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let mut results = Vec::with_capacity(num_tasks);
+        let mut durations = Vec::with_capacity(num_tasks);
+        for task in 0..num_tasks {
+            let start = Instant::now();
+            results.push(f(task));
+            durations.push(start.elapsed());
+        }
+        record_pool(
+            label,
+            &durations,
+            &[WorkerReport {
+                tasks: num_tasks as u64,
+                steals: 0,
+                max_queue_depth: num_tasks as u64,
+            }],
+        );
+        results
+    }
+}
+
+/// Work-stealing pool with a fixed worker count over scoped threads.
+pub struct WorkStealing {
+    workers: usize,
+}
+
+impl WorkStealing {
+    /// A pool of `workers` workers (floored at 2; use [`Serial`] for 1).
+    pub fn new(workers: usize) -> WorkStealing {
+        WorkStealing {
+            workers: workers.max(2),
+        }
+    }
+}
+
+/// One worker's output: executed (task, result, latency) triples plus the
+/// scheduling report.
+type WorkerOutput<R> = (Vec<(usize, R, Duration)>, WorkerReport);
+
+impl WorkStealing {
+    fn worker_loop<R, F>(worker: usize, queues: &[Mutex<VecDeque<usize>>], f: &F) -> WorkerOutput<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = queues.len();
+        let mut done = Vec::new();
+        let mut report = WorkerReport::default();
+        loop {
+            // Own deque first: pop the front (chunk order, cache-friendly).
+            let mut task = {
+                let mut queue = queues[worker]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                report.max_queue_depth = report.max_queue_depth.max(queue.len() as u64);
+                queue.pop_front()
+            };
+            // Dry: steal from the back of the first non-empty victim.
+            if task.is_none() {
+                for offset in 1..workers {
+                    let victim = (worker + offset) % workers;
+                    let stolen = queues[victim]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .pop_back();
+                    if stolen.is_some() {
+                        task = stolen;
+                        report.steals += 1;
+                        break;
+                    }
+                }
+            }
+            // Tasks are never re-queued, so "every deque empty" is final.
+            let Some(task) = task else { break };
+            let start = Instant::now();
+            let result = f(task);
+            done.push((task, result, start.elapsed()));
+            report.tasks += 1;
+        }
+        (done, report)
+    }
+}
+
+impl Execute for WorkStealing {
+    fn run_tasks<R, F>(&self, label: &str, num_tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.workers.min(num_tasks);
+        if workers <= 1 {
+            return Serial.run_tasks(label, num_tasks, f);
+        }
+        // Seed each worker's deque with a contiguous block of chunk
+        // indices. The distribution affects only scheduling, never the
+        // merge order: results land in slots keyed by task index.
+        let block = num_tasks.div_ceil(workers);
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = w * block;
+                let hi = ((w + 1) * block).min(num_tasks);
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+
+        let f = &f;
+        let queues = &queues;
+        let outputs: Vec<WorkerOutput<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| scope.spawn(move || Self::worker_loop(w, queues, f)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle.join() {
+                    Ok(output) => output,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+
+        // Deterministic chunk → slot merge.
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(num_tasks);
+        slots.resize_with(num_tasks, || None);
+        let mut durations = vec![Duration::ZERO; num_tasks];
+        let mut reports = Vec::with_capacity(workers);
+        for (done, report) in outputs {
+            for (task, result, elapsed) in done {
+                slots[task] = Some(result);
+                durations[task] = elapsed;
+            }
+            reports.push(report);
+        }
+        record_pool(label, &durations, &reports);
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("exec: every task index is seeded exactly once"))
+            .collect()
+    }
+}
+
+/// The engine selected by the global configuration: serial at one worker,
+/// work stealing otherwise.
+pub enum Engine {
+    /// Caller-thread execution.
+    Serial(Serial),
+    /// Scoped-thread work-stealing pool.
+    Stealing(WorkStealing),
+}
+
+impl Engine {
+    /// The engine for an explicit worker count.
+    pub fn with_threads(threads: usize) -> Engine {
+        if threads <= 1 {
+            Engine::Serial(Serial)
+        } else {
+            Engine::Stealing(WorkStealing::new(threads))
+        }
+    }
+
+    /// The engine for the resolved global configuration ([`threads`]).
+    pub fn current() -> Engine {
+        Engine::with_threads(threads())
+    }
+
+    /// The always-serial engine, independent of configuration.
+    pub fn serial() -> Engine {
+        Engine::Serial(Serial)
+    }
+
+    /// The worker count this engine schedules onto.
+    pub fn workers(&self) -> usize {
+        match self {
+            Engine::Serial(_) => 1,
+            Engine::Stealing(pool) => pool.workers,
+        }
+    }
+}
+
+impl Execute for Engine {
+    fn run_tasks<R, F>(&self, label: &str, num_tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        match self {
+            Engine::Serial(engine) => engine.run_tasks(label, num_tasks, f),
+            Engine::Stealing(pool) => pool.run_tasks(label, num_tasks, f),
+        }
+    }
+}
+
+/// Run `f` over fixed-size chunks of `items` on the current engine;
+/// results come back in chunk order. `chunk` is the requested chunk size
+/// (subject to the global test override, never to the worker count).
+pub fn par_chunks<T, R, F>(label: &str, items: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let size = chunk_size(chunk);
+    let chunks: Vec<&[T]> = items.chunks(size).collect();
+    Engine::current().run_tasks(label, chunks.len(), |task| f(chunks[task]))
+}
+
+/// Run `f` over fixed-size index ranges partitioning `0..len` on the
+/// current engine; results come back in range order.
+pub fn par_ranges<R, F>(label: &str, len: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let size = chunk_size(chunk);
+    let num_chunks = len.div_ceil(size);
+    Engine::current().run_tasks(label, num_chunks, |task| {
+        let lo = task * size;
+        let hi = (lo + size).min(len);
+        f(lo..hi)
+    })
+}
+
+/// Run `f(0), …, f(num_tasks - 1)` on the current engine; results come
+/// back in task order. For coarse heterogeneous tasks (one per
+/// granularity, one per predictor) where chunking adds nothing.
+pub fn par_tasks<R, F>(label: &str, num_tasks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    Engine::current().run_tasks(label, num_tasks, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn serial_and_stealing_agree_on_task_order() {
+        let _guard = override_scope(0, 0);
+        let serial = Serial.run_tasks("exec_test_order", 257, |i| i * 3 + 1);
+        for workers in [2, 3, 4, 7] {
+            let parallel =
+                WorkStealing::new(workers).run_tasks("exec_test_order", 257, |i| i * 3 + 1);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_partitions_exactly() {
+        let _guard = override_scope(4, 0);
+        let items: Vec<u64> = (0..10_000).collect();
+        for chunk in [1, 7, 64, 9_999, 10_000, 20_000] {
+            let partials = par_chunks("exec_test_partition", &items, chunk, |c| {
+                (c.len(), c.iter().sum::<u64>())
+            });
+            let total_len: usize = partials.iter().map(|p| p.0).sum();
+            let total_sum: u64 = partials.iter().map(|p| p.1).sum();
+            assert_eq!(total_len, items.len(), "chunk={chunk}");
+            assert_eq!(total_sum, items.iter().sum::<u64>(), "chunk={chunk}");
+            assert_eq!(partials.len(), items.len().div_ceil(chunk));
+        }
+    }
+
+    #[test]
+    fn par_ranges_covers_the_full_range_in_order() {
+        let _guard = override_scope(3, 0);
+        let ranges = par_ranges("exec_test_ranges", 100, 7, |r| r);
+        let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+        assert_eq!(flat, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let _guard = override_scope(4, 0);
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_chunks("exec_test_empty", &empty, 8, |c| c.len()).is_empty());
+        assert!(par_ranges("exec_test_empty", 0, 8, |r| r.len()).is_empty());
+        assert!(par_tasks("exec_test_empty", 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn chunk_override_wins_over_requested_size() {
+        let _guard = override_scope(2, 5);
+        let items: Vec<u32> = (0..23).collect();
+        let partials = par_chunks("exec_test_override", &items, 1_000, |c| c.len());
+        assert_eq!(partials, vec![5, 5, 5, 5, 3]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once_under_stealing() {
+        let _guard = override_scope(0, 0);
+        let hits = AtomicU64::new(0);
+        let results = WorkStealing::new(7).run_tasks("exec_test_once", 1_000, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i as u64
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1_000);
+        assert_eq!(results, (0..1_000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn uneven_workloads_still_merge_in_order() {
+        let _guard = override_scope(0, 0);
+        // Task 0 is much slower than the rest: stealing reorders
+        // execution, the slot merge must not care.
+        let results = WorkStealing::new(4).run_tasks("exec_test_uneven", 64, |i| {
+            if i == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(results, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threads_resolution_honors_override() {
+        let _guard = override_scope(5, 0);
+        assert_eq!(threads(), 5);
+        assert_eq!(Engine::current().workers(), 5);
+        drop(_guard);
+        let _guard = override_scope(1, 0);
+        assert!(matches!(Engine::current(), Engine::Serial(_)));
+    }
+
+    #[test]
+    fn pool_metrics_account_for_every_chunk() {
+        let _guard = override_scope(4, 0);
+        let registry = wikistale_obs::MetricsRegistry::global();
+        let items: Vec<u64> = (0..4_096).collect();
+        par_chunks("exec_test_metrics", &items, 64, |c| c.len());
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.spans["parallel/exec_test_metrics/chunk"].count, 64);
+        assert_eq!(snapshot.gauges["parallel/exec_test_metrics/chunks"], 64.0);
+        let workers = snapshot.gauges["parallel/exec_test_metrics/workers"];
+        assert!((1.0..=4.0).contains(&workers), "workers gauge {workers}");
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _guard = override_scope(0, 0);
+        let caught = std::panic::catch_unwind(|| {
+            WorkStealing::new(3).run_tasks("exec_test_panic", 16, |i| {
+                assert!(i != 9, "boom");
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

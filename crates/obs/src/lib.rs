@@ -39,6 +39,7 @@
 //! ```
 
 pub mod json;
+pub mod parallel;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -88,7 +88,7 @@ impl ChangeCube {
         if !changes.is_sorted_by_key(|c| c.sort_key()) {
             // Stable, so same-key changes keep their input order and the
             // last-wins dedup below resolves to the latest write.
-            changes.sort_by_key(|c| c.sort_key());
+            changes = stable_sort_changes(changes);
         }
         changes.dedup_by(|cur, prev| {
             if cur.sort_key() == prev.sort_key() {
@@ -405,6 +405,52 @@ impl ChangeCubeBuilder {
         )
         .expect("builder maintains referential integrity")
     }
+}
+
+/// Changes per sort chunk. Large enough that chunk sort dominates the
+/// serial k-way merge; small enough for stealing to balance skewed data.
+const SORT_CHUNK: usize = 32_768;
+
+/// Stable sort by [`Change::sort_key`]: fixed contiguous chunks are sorted
+/// in parallel, then k-way merged with ties broken by chunk index.
+///
+/// Because chunks are contiguous input ranges taken in order, "smaller
+/// chunk index" equals "earlier original position" for equal keys, so the
+/// merge reproduces a global stable sort exactly — for any chunk size and
+/// any worker count. That is what keeps the last-wins dedup in
+/// [`ChangeCube::from_parts`] independent of `--threads`.
+fn stable_sort_changes(mut changes: Vec<Change>) -> Vec<Change> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    if wikistale_exec::threads() <= 1 || changes.len() <= wikistale_exec::chunk_size(SORT_CHUNK) {
+        changes.sort_by_key(|c| c.sort_key());
+        return changes;
+    }
+    let sorted_chunks: Vec<Vec<Change>> =
+        wikistale_exec::par_ranges("cube_sort", changes.len(), SORT_CHUNK, |range| {
+            let mut part = changes[range].to_vec();
+            part.sort_by_key(|c| c.sort_key());
+            part
+        });
+
+    let mut heap = BinaryHeap::with_capacity(sorted_chunks.len());
+    for (idx, chunk) in sorted_chunks.iter().enumerate() {
+        if let Some(first) = chunk.first() {
+            heap.push(Reverse((first.sort_key(), idx)));
+        }
+    }
+    let mut merged = Vec::with_capacity(changes.len());
+    let mut cursors = vec![0usize; sorted_chunks.len()];
+    while let Some(Reverse((_, idx))) = heap.pop() {
+        let chunk = &sorted_chunks[idx];
+        merged.push(chunk[cursors[idx]]);
+        cursors[idx] += 1;
+        if let Some(next) = chunk.get(cursors[idx]) {
+            heap.push(Reverse((next.sort_key(), idx)));
+        }
+    }
+    merged
 }
 
 #[cfg(test)]

@@ -49,10 +49,25 @@ impl CubeIndex {
     /// (most callers want updates only — pass
     /// `&[ChangeKind::Update]` — but the dataset statistics want all).
     pub fn build_for_kinds(cube: &ChangeCube, kinds: &[ChangeKind]) -> CubeIndex {
+        // Per-chunk field → days maps, merged by appending day lists in
+        // chunk order. Chunks are contiguous ranges of the day-major
+        // change table, so appended lists stay day-sorted; everything the
+        // index exposes is keyed by the sorted `fields` vector below, so
+        // hash-map iteration order never reaches the output.
+        let chunk_maps: Vec<FxHashMap<FieldId, Vec<Date>>> =
+            wikistale_exec::par_ranges("cube_index", cube.num_changes(), 16_384, |range| {
+                let mut local: FxHashMap<FieldId, Vec<Date>> = FxHashMap::default();
+                for c in &cube.changes()[range] {
+                    if kinds.contains(&c.kind) {
+                        local.entry(c.field()).or_default().push(c.day);
+                    }
+                }
+                local
+            });
         let mut per_field: FxHashMap<FieldId, Vec<Date>> = FxHashMap::default();
-        for c in cube.changes() {
-            if kinds.contains(&c.kind) {
-                per_field.entry(c.field()).or_default().push(c.day);
+        for local in chunk_maps {
+            for (field, mut field_days) in local {
+                per_field.entry(field).or_default().append(&mut field_days);
             }
         }
         let mut fields: Vec<FieldId> = per_field.keys().copied().collect();

@@ -18,11 +18,13 @@ run cargo test -q --offline
 run cargo fmt --all --check
 run cargo clippy --all-targets --offline -- -D warnings
 
-# Robustness gates. Both suites are part of the workspace test run above;
-# invoking them by name makes a chaos/corruption regression fail loudly on
-# its own line instead of disappearing into the full-workspace summary.
+# Robustness gates. These suites are part of the workspace test run above;
+# invoking them by name makes a chaos/corruption/determinism regression
+# fail loudly on its own line instead of disappearing into the
+# full-workspace summary.
 run cargo test -q --offline -p wikistale-cli --test chaos
 run cargo test -q --offline -p wikistale-wikicube binio
+run cargo test -q --offline -p wikistale-cli --test differential
 
 # The lossy-parsing and persistence code paths promise "typed error or
 # quarantine entry, never a panic" — a stray unwrap()/expect() in them

@@ -369,3 +369,143 @@ fn resume_refuses_a_corrupted_checkpoint_artifact() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------
+// Concurrency chaos: faults under --threads N must be indistinguishable
+// from faults under --threads 1 — same exit codes, same quarantine books,
+// same bytes. A worker pool that swallowed an error, double-counted a
+// quarantined page, or tore an artifact write would show up here.
+
+#[test]
+fn faulted_lossy_ingest_is_identical_across_thread_counts() {
+    let dir = tmpdir("conc-ingest");
+    for (i, &fault) in TEXT_FAULTS.iter().enumerate() {
+        let mut xml = sample_dump(20);
+        FaultInjector::new(i as u64).corrupt_text(&mut xml, fault);
+        let xml_path = dir.join(format!("dump-{i}.xml"));
+        std::fs::write(&xml_path, &xml).unwrap();
+        let xml_s = xml_path.to_str().unwrap();
+
+        let leg = |threads: &str| {
+            let out_cube = dir.join(format!("out-{i}-t{threads}.wcube"));
+            let q = dir.join(format!("quarantine-{i}-t{threads}.json"));
+            let out = wikistale(&[
+                "ingest",
+                "--xml",
+                xml_s,
+                "--out",
+                out_cube.to_str().unwrap(),
+                "--lossy",
+                "--quarantine",
+                q.to_str().unwrap(),
+                "--threads",
+                threads,
+            ]);
+            let cube = std::fs::read(&out_cube).ok();
+            let report = std::fs::read_to_string(&q).ok();
+            // stdout echoes the output path, which necessarily differs
+            // between the legs — mask it so only real output can diverge.
+            let text = stdout(&out).replace(out_cube.to_str().unwrap(), "<out>");
+            (exit_code(&out), text, cube, report)
+        };
+
+        let serial = leg("1");
+        let parallel = leg("4");
+        assert_eq!(
+            serial.0, parallel.0,
+            "{fault:?}: exit codes diverged across thread counts"
+        );
+        assert_eq!(serial.1, parallel.1, "{fault:?}: stdout diverged");
+        assert_eq!(serial.2, parallel.2, "{fault:?}: cube bytes diverged");
+        assert_eq!(
+            serial.3, parallel.3,
+            "{fault:?}: quarantine reports diverged"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exhausted_error_budget_exits_identically_under_threads() {
+    let dir = tmpdir("conc-budget");
+    let mut xml = sample_dump(22);
+    for i in 0..3 {
+        xml.push_str(&format!(
+            "<page><revision><timestamp>2019-01-01T00:00:00Z</timestamp>\
+             <text>broken {i}</text></revision></page>"
+        ));
+    }
+    let xml_path = dir.join("dump.xml");
+    std::fs::write(&xml_path, &xml).unwrap();
+    let mut legs = Vec::new();
+    for threads in ["1", "4"] {
+        let out = wikistale(&[
+            "ingest",
+            "--xml",
+            xml_path.to_str().unwrap(),
+            "--out",
+            dir.join(format!("out-t{threads}.wcube")).to_str().unwrap(),
+            "--error-budget",
+            "0",
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(exit_code(&out), 5, "t={threads}: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("error budget exceeded"),
+            "t={threads}: {}",
+            stderr(&out)
+        );
+        legs.push(stdout(&out));
+    }
+    assert_eq!(legs[0], legs[1], "budget-exceeded stdout must not vary");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn experiment_crashed_under_threads_resumes_serially_to_reference() {
+    let dir = tmpdir("conc-resume");
+    // Reference: uninterrupted serial run, no checkpoints.
+    let reference = wikistale(&["experiment", "--preset", "tiny", "--threads", "1"]);
+    assert_eq!(exit_code(&reference), 0, "stderr: {}", stderr(&reference));
+
+    // Crash a 4-thread run mid-pipeline, then resume with 1 thread: the
+    // checkpointed artifacts written by the worker pool must be exactly
+    // what the serial resume expects (checksums included).
+    let ckpt = dir.join("ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let killed = wikistale(&[
+        "experiment",
+        "--preset",
+        "tiny",
+        "--checkpoint-dir",
+        ckpt_s,
+        "--crash-after",
+        "granularity_7",
+        "--threads",
+        "4",
+    ]);
+    assert_eq!(exit_code(&killed), CRASH_EXIT, "{}", stderr(&killed));
+    let resumed = wikistale(&[
+        "experiment",
+        "--preset",
+        "tiny",
+        "--checkpoint-dir",
+        ckpt_s,
+        "--resume",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(exit_code(&resumed), 0, "stderr: {}", stderr(&resumed));
+    assert_eq!(
+        stdout(&resumed),
+        stdout(&reference),
+        "4-thread crash + serial resume must reproduce the serial reference"
+    );
+    assert!(
+        stderr(&resumed).contains("resume: reusing"),
+        "{}",
+        stderr(&resumed)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

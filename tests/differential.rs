@@ -1,0 +1,444 @@
+//! Serial-vs-parallel differential suite.
+//!
+//! The execution layer (`wikistale-exec`) promises that artifact bytes
+//! are a pure function of the input and the per-call-site chunk size —
+//! never of the worker count or the scheduling order. This suite pins
+//! that promise for every parallelized stage: cube building (sort +
+//! index), Apriori support counting, field-correlation pairing, truth
+//! sets / prediction sets, and the final experiment report, across
+//! seeds × thread counts {1, 2, 4, 7} × chunk sizes including the
+//! adversarial ones (1, len−1, > len).
+//!
+//! In-process tests pin the global configuration with
+//! [`wikistale_exec::override_scope`], whose guard also holds a global
+//! lock — the cargo test runner executes tests of this binary
+//! concurrently, and the thread/chunk overrides are process-wide.
+//! Subprocess tests (the `wikistale` binary) need no lock: each child
+//! resolves its own `--threads`.
+//!
+//! Reproducing a failure: every in-process case states its seed and
+//! (threads, chunk) pair in the assertion message; proptest cases
+//! re-run exactly with `PROPTEST_CASE=<n>` (see vendor/README.md).
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use wikistale_apriori::{frequent_itemsets, Support, TransactionSet};
+use wikistale_core::experiment::{run_paper_evaluation, ExperimentConfig};
+use wikistale_core::filters::FilterPipeline;
+use wikistale_core::predictors::{FieldCorrelation, FieldCorrelationParams};
+use wikistale_core::report;
+use wikistale_core::split::EvalSplit;
+use wikistale_core::{truth_set, EvalData};
+use wikistale_synth::{generate, SynthConfig};
+use wikistale_wikicube::{binio, ChangeCube, ChangeCubeBuilder, ChangeKind, CubeIndex, Date};
+
+/// Thread counts the issue pins: serial, even, the machine default, odd.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Run `f` with a pinned (threads, chunk override) configuration.
+/// `chunk == 0` keeps each call site's own chunk size.
+fn with_exec<T>(threads: usize, chunk: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = wikistale_exec::override_scope(threads, chunk);
+    f()
+}
+
+/// The adversarial chunk sizes for an input of length `len`: default,
+/// single-element chunks, one-short-of-everything, more than everything.
+fn adversarial_chunks(len: usize) -> Vec<usize> {
+    vec![0, 1, len.saturating_sub(1).max(1), len + 7]
+}
+
+fn wikistale(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wikistale"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wikistale-diff-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// An unsorted batch of change rows exercising the parallel stable sort
+/// (same-day same-slot duplicates included, so last-wins dedup order
+/// matters).
+fn build_cube(rows: &[(i32, usize, usize, u8, String)]) -> ChangeCube {
+    let mut b = ChangeCubeBuilder::new();
+    let entities: Vec<_> = (0..6)
+        .map(|i| {
+            b.entity(
+                &format!("e{i}"),
+                &format!("t{}", i % 3),
+                &format!("pg{}", i % 4),
+            )
+        })
+        .collect();
+    let props: Vec<_> = (0..5).map(|i| b.property(&format!("p{i}"))).collect();
+    for (day, e, p, kind, value) in rows {
+        let kind = match kind % 3 {
+            0 => ChangeKind::Create,
+            1 => ChangeKind::Update,
+            _ => ChangeKind::Delete,
+        };
+        b.change(
+            Date::EPOCH + *day,
+            entities[e % entities.len()],
+            props[p % props.len()],
+            value,
+            kind,
+        );
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Stage 0, the engine itself: fixed chunking partitions identically
+    /// for every thread count, including adversarial chunk sizes.
+    #[test]
+    fn exec_chunk_results_independent_of_threads(
+        items in proptest::collection::vec(0u64..1_000_000, 1..400),
+    ) {
+        for chunk in adversarial_chunks(items.len()) {
+            let effective = if chunk == 0 { 16 } else { chunk };
+            let reference: Vec<u64> = items
+                .chunks(effective)
+                .map(|c| c.iter().sum::<u64>())
+                .collect();
+            for threads in THREADS {
+                let got = with_exec(threads, 0, || {
+                    wikistale_exec::par_chunks("diff_exec", &items, effective, |c| {
+                        c.iter().sum::<u64>()
+                    })
+                });
+                prop_assert_eq!(
+                    &got, &reference,
+                    "threads={} chunk={}", threads, effective
+                );
+            }
+        }
+    }
+
+    /// Stage 1, cube building: the parallel chunked stable sort + k-way
+    /// merge in `from_parts` must reproduce the serial stable sort bit
+    /// for bit — including the last-wins dedup of same-day duplicates.
+    #[test]
+    fn cube_bytes_independent_of_threads(
+        rows in proptest::collection::vec(
+            (0i32..1_500, 0usize..6, 0usize..5, 0u8..3, "[a-z0-9]{0,6}"),
+            1..200,
+        ),
+    ) {
+        let reference = with_exec(1, 0, || binio::encode(&build_cube(&rows)));
+        for chunk in adversarial_chunks(rows.len()) {
+            for threads in [2, 4, 7] {
+                let got = with_exec(threads, chunk, || binio::encode(&build_cube(&rows)));
+                prop_assert_eq!(
+                    &got, &reference,
+                    "threads={} chunk={}", threads, chunk
+                );
+            }
+        }
+    }
+
+    /// Stage 2, Apriori: sharded support counting merges to the exact
+    /// serial counts for every thread count and chunking.
+    #[test]
+    fn mined_itemsets_independent_of_threads(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..12, 0..8),
+            1..60,
+        ),
+        support in 1u64..4,
+    ) {
+        let mut builder = TransactionSet::builder();
+        for row in &rows {
+            let mut items = row.clone();
+            items.sort_unstable();
+            items.dedup();
+            builder.push(items.into_iter());
+        }
+        let ts = builder.finish();
+        let reference = with_exec(1, 0, || {
+            frequent_itemsets(&ts, Support::Count(support), 4)
+        });
+        for chunk in adversarial_chunks(ts.len()) {
+            for threads in [2, 4, 7] {
+                let got = with_exec(threads, chunk, || {
+                    frequent_itemsets(&ts, Support::Count(support), 4)
+                });
+                prop_assert_eq!(
+                    &got, &reference,
+                    "threads={} chunk={}", threads, chunk
+                );
+            }
+        }
+    }
+}
+
+/// Stage 1b, the full synth → filter path through the binary format:
+/// generated and filtered cube bytes across seeds × threads × chunks.
+#[test]
+fn synth_and_filter_bytes_independent_of_threads() {
+    for seed in [1u64, 7, 42] {
+        let config = SynthConfig {
+            seed,
+            ..SynthConfig::tiny()
+        };
+        let reference = with_exec(1, 0, || {
+            let corpus = generate(&config);
+            let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+            (binio::encode(&corpus.cube), binio::encode(&filtered))
+        });
+        for (threads, chunk) in [(2, 0), (4, 0), (7, 0), (2, 1), (4, 13), (7, 1_000_000)] {
+            let got = with_exec(threads, chunk, || {
+                let corpus = generate(&config);
+                let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+                (binio::encode(&corpus.cube), binio::encode(&filtered))
+            });
+            assert_eq!(
+                got, reference,
+                "seed={seed} threads={threads} chunk={chunk}"
+            );
+        }
+    }
+}
+
+/// Stage 3, field correlation: the trained partner lists (the model
+/// itself, not just its predictions) across threads × chunks.
+#[test]
+fn correlation_partners_independent_of_threads() {
+    for seed in [3u64, 11] {
+        let config = SynthConfig {
+            seed,
+            ..SynthConfig::tiny()
+        };
+        let corpus = generate(&config);
+        let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+        let split = EvalSplit::for_span(filtered.time_span().unwrap()).unwrap();
+        let partners_at = |threads: usize, chunk: usize| {
+            with_exec(threads, chunk, || {
+                let index = CubeIndex::build(&filtered);
+                let data = EvalData::new(&filtered, &index);
+                let fc =
+                    FieldCorrelation::train(&data, split.train, FieldCorrelationParams::default());
+                let lists: Vec<Vec<u32>> = (0..index.num_fields())
+                    .map(|pos| fc.partners_of(pos as u32).to_vec())
+                    .collect();
+                (fc.num_rules(), fc.num_correlated_fields(), lists)
+            })
+        };
+        let reference = partners_at(1, 0);
+        for (threads, chunk) in [(2, 0), (4, 1), (7, 13), (4, 1_000_000)] {
+            assert_eq!(
+                partners_at(threads, chunk),
+                reference,
+                "seed={seed} threads={threads} chunk={chunk}"
+            );
+        }
+    }
+}
+
+/// Stage 4, the evaluation sweep: truth sets, every granularity's
+/// prediction sets (via PaperResults equality), and the rendered report
+/// across threads × chunks.
+#[test]
+fn evaluation_results_independent_of_threads() {
+    let corpus = generate(&SynthConfig::tiny());
+    let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+    let split = EvalSplit::for_span(filtered.time_span().unwrap()).unwrap();
+    let evaluate_at = |threads: usize, chunk: usize| {
+        with_exec(threads, chunk, || {
+            let index = CubeIndex::build(&filtered);
+            let truth = truth_set(&index, split.test, 7);
+            let results = run_paper_evaluation(&filtered, &split, &ExperimentConfig::default());
+            let rendered = format!(
+                "{}\n{}\n{}",
+                report::render_table1(&results),
+                report::render_overlap(&results),
+                report::render_figure3(&results)
+            );
+            (truth.items().to_vec(), results, rendered)
+        })
+    };
+    let reference = evaluate_at(1, 0);
+    for (threads, chunk) in [(2, 0), (4, 0), (7, 0), (2, 1), (4, 97)] {
+        let got = evaluate_at(threads, chunk);
+        assert_eq!(got.0, reference.0, "truth threads={threads} chunk={chunk}");
+        assert_eq!(
+            got.1, reference.1,
+            "results threads={threads} chunk={chunk}"
+        );
+        assert_eq!(got.2, reference.2, "report threads={threads} chunk={chunk}");
+    }
+}
+
+/// CLI end to end: `experiment` stdout and checkpoint artifact bytes are
+/// identical at every `--threads` value.
+#[test]
+fn cli_experiment_stdout_and_artifacts_independent_of_threads() {
+    let dir = tmpdir("artifacts");
+    let run_at = |threads: &str, sub: &str| {
+        let ckpt = dir.join(sub);
+        let ckpt = ckpt.to_str().unwrap().to_owned();
+        let out = wikistale(&[
+            "experiment",
+            "--preset",
+            "tiny",
+            "--seed",
+            "5",
+            "--threads",
+            threads,
+            "--checkpoint-dir",
+            &ckpt,
+        ]);
+        assert!(out.status.success(), "threads={threads}: {out:?}");
+        (stdout_of(&out), ckpt)
+    };
+    let (ref_stdout, ref_ckpt) = run_at("1", "t1");
+    for threads in ["2", "4", "7"] {
+        let (got_stdout, got_ckpt) = run_at(threads, &format!("t{threads}"));
+        assert_eq!(
+            got_stdout, ref_stdout,
+            "stdout differs at --threads {threads}"
+        );
+        for stage in ["generate.wcube", "filter.wcube"] {
+            let reference = std::fs::read(PathBuf::from(&ref_ckpt).join(stage)).unwrap();
+            let got = std::fs::read(PathBuf::from(&got_ckpt).join(stage)).unwrap();
+            assert_eq!(
+                got, reference,
+                "artifact {stage} differs at --threads {threads}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Checkpoints cross thread counts: artifacts written at `--threads 1`
+/// resume under `--threads 4` and vice versa, reproducing the reference
+/// stdout byte for byte. (The fingerprint deliberately excludes the
+/// thread count.)
+#[test]
+fn checkpoint_resume_crosses_thread_counts() {
+    let reference = {
+        let out = wikistale(&["experiment", "--preset", "tiny", "--seed", "9"]);
+        assert!(out.status.success());
+        stdout_of(&out)
+    };
+    for (first, second) in [("1", "4"), ("4", "1")] {
+        let dir = tmpdir(&format!("xresume-{first}-{second}"));
+        let ckpt = dir.to_str().unwrap();
+        let crashed = wikistale(&[
+            "experiment",
+            "--preset",
+            "tiny",
+            "--seed",
+            "9",
+            "--threads",
+            first,
+            "--checkpoint-dir",
+            ckpt,
+            "--crash-after",
+            "train",
+        ]);
+        assert_eq!(crashed.status.code(), Some(42), "expected simulated crash");
+        let resumed = wikistale(&[
+            "experiment",
+            "--preset",
+            "tiny",
+            "--seed",
+            "9",
+            "--threads",
+            second,
+            "--checkpoint-dir",
+            ckpt,
+            "--resume",
+        ]);
+        assert!(resumed.status.success(), "{resumed:?}");
+        let err = String::from_utf8_lossy(&resumed.stderr).into_owned();
+        assert!(
+            err.contains("resume: reusing checkpointed"),
+            "resume did not reuse artifacts: {err}"
+        );
+        assert_eq!(
+            stdout_of(&resumed),
+            reference,
+            "--threads {first} checkpoint resumed at --threads {second} diverged"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// `bench` is itself a differential check (it refuses to write a report
+/// when serial and parallel results diverge) — run it end to end.
+#[test]
+fn bench_subcommand_verifies_and_reports() {
+    let dir = tmpdir("bench");
+    let out_path = dir.join("BENCH_parallel.json");
+    let out = wikistale(&[
+        "bench",
+        "--preset",
+        "tiny",
+        "--seed",
+        "3",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let report = std::fs::read_to_string(&out_path).unwrap();
+    wikistale_obs::json::validate(&report).expect("bench report is valid JSON");
+    assert!(report.contains("\"identical_results\": true"));
+    assert!(report.contains("\"serial_wall_ms\""));
+    assert!(report.contains("\"parallel_stages_ms\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Scheduling-order stress: many repetitions at an odd worker count with
+/// single-element chunks — the configuration most likely to surface a
+/// merge-order or termination bug. Run with
+/// `cargo test -q --test differential -- --ignored stress`.
+#[test]
+#[ignore = "stress leg: run explicitly via -- --ignored stress"]
+fn stress_scheduling_orders_never_change_results() {
+    let corpus = generate(&SynthConfig::tiny());
+    let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+    let split = EvalSplit::for_span(filtered.time_span().unwrap()).unwrap();
+    let reference = with_exec(1, 0, || {
+        run_paper_evaluation(&filtered, &split, &ExperimentConfig::default())
+    });
+    for round in 0..12 {
+        for (threads, chunk) in [(7, 1), (4, 3), (2, 1)] {
+            let got = with_exec(threads, chunk, || {
+                run_paper_evaluation(&filtered, &split, &ExperimentConfig::default())
+            });
+            assert_eq!(
+                got, reference,
+                "round={round} threads={threads} chunk={chunk}"
+            );
+        }
+    }
+    // The raw engine, hammered with single-element chunks and uneven
+    // workloads.
+    let items: Vec<u64> = (0..10_000).collect();
+    let expected: Vec<u64> = items.iter().map(|&i| i * 2).collect();
+    for round in 0..25 {
+        let got = with_exec(7, 0, || {
+            wikistale_exec::par_chunks("diff_stress", &items, 1, |c| {
+                if c[0] % 997 == 0 {
+                    std::thread::yield_now();
+                }
+                c[0] * 2
+            })
+        });
+        assert_eq!(got, expected, "round={round}");
+    }
+}

@@ -17,6 +17,23 @@
 //! input is printed verbatim), and `proptest-regressions` files are not
 //! replayed (regressions worth pinning should be written as explicit unit
 //! tests — see `tests/props.rs` in the workspace for examples).
+//!
+//! # Reproducing a failure
+//!
+//! Inputs for a case are a pure function of `(test name, case number)`, so
+//! a failure report like `failed at case 17` replays exactly with
+//!
+//! ```text
+//! PROPTEST_CASE=17 cargo test <test_name>
+//! ```
+//!
+//! Two environment variables control scheduling:
+//!
+//! - `PROPTEST_CASES=<n>` — run `n` cases per property instead of the
+//!   configured count (CI uses this for cheap wide sweeps or stress runs).
+//! - `PROPTEST_CASE=<n>` — run *only* case `n` of each property. If the
+//!   failure came from a widened `PROPTEST_CASES` run, set both (the
+//!   filter never runs cases past the resolved count).
 
 pub mod collection;
 pub mod strategy;
@@ -88,7 +105,11 @@ macro_rules! __proptest_items {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
             let cases = $crate::test_runner::resolve_cases(config.cases);
+            let only = $crate::test_runner::resolve_case_filter();
             for case in 0..cases {
+                if only.is_some_and(|c| c != case) {
+                    continue;
+                }
                 let mut rng =
                     $crate::test_runner::TestRng::for_case(stringify!($name), case);
                 $(let $arg =
@@ -149,6 +170,21 @@ mod tests {
             prop_assert!(s.len() <= 6);
             prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
+    }
+
+    #[test]
+    fn case_scheduling_knobs_parse() {
+        use crate::test_runner::{parse_case_filter, parse_cases};
+        // PROPTEST_CASES: parseable override wins, junk falls back.
+        assert_eq!(parse_cases(None, 256), 256);
+        assert_eq!(parse_cases(Some("64"), 256), 64);
+        assert_eq!(parse_cases(Some(""), 256), 256);
+        assert_eq!(parse_cases(Some("lots"), 256), 256);
+        // PROPTEST_CASE: only a clean number selects a single case.
+        assert_eq!(parse_case_filter(None), None);
+        assert_eq!(parse_case_filter(Some("17")), Some(17));
+        assert_eq!(parse_case_filter(Some("")), None);
+        assert_eq!(parse_case_filter(Some("-3")), None);
     }
 
     #[test]

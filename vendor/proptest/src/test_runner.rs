@@ -23,10 +23,28 @@ impl Default for ProptestConfig {
 
 /// The configured case count, overridable with `PROPTEST_CASES`.
 pub fn resolve_cases(configured: u32) -> u32 {
-    match std::env::var("PROPTEST_CASES") {
-        Ok(v) => v.parse().unwrap_or(configured),
-        Err(_) => configured,
-    }
+    parse_cases(std::env::var("PROPTEST_CASES").ok().as_deref(), configured)
+}
+
+/// Pure core of [`resolve_cases`]: a parseable override wins, anything
+/// else (unset, empty, garbage) falls back to the configured count.
+pub fn parse_cases(var: Option<&str>, configured: u32) -> u32 {
+    var.and_then(|v| v.parse().ok()).unwrap_or(configured)
+}
+
+/// Single-case replay filter, set with `PROPTEST_CASE=<n>`. When present,
+/// every `proptest!` test runs *only* case `n` — the generated inputs for
+/// a given (test name, case) pair are a pure function of those two values,
+/// so this reproduces a reported failure exactly without rerunning the
+/// whole schedule.
+pub fn resolve_case_filter() -> Option<u32> {
+    parse_case_filter(std::env::var("PROPTEST_CASE").ok().as_deref())
+}
+
+/// Pure core of [`resolve_case_filter`]: `None` (or unparseable text)
+/// means "no filter, run every case".
+pub fn parse_case_filter(var: Option<&str>) -> Option<u32> {
+    var.and_then(|v| v.parse().ok())
 }
 
 /// Deterministic per-case RNG (xoshiro256++ seeded with SplitMix64 over a
@@ -120,8 +138,14 @@ impl Drop for FailureReport {
     fn drop(&mut self) {
         if self.armed && std::thread::panicking() {
             eprintln!(
-                "proptest stub: {} failed at case {} with inputs:\n{}",
-                self.name, self.case, self.inputs
+                "proptest stub: {name} failed at case {case} with inputs:\n{inputs}\
+                 replay just this case with:\n  \
+                 PROPTEST_CASE={case} cargo test {name}\n\
+                 (inputs are a pure function of the test name and case \
+                 number; pin inputs worth keeping as an explicit unit test)",
+                name = self.name,
+                case = self.case,
+                inputs = self.inputs,
             );
         }
     }
