@@ -41,6 +41,14 @@ USAGE:
                      [--checkpoint-dir <dir>] [--resume]
   wikistale bench    [--preset tiny|small|medium] [--seed N] [--scale F]
                      [--no-min-changes] [--out <BENCH_parallel.json>]
+  wikistale serve    --artifacts <checkpoint-dir> [--addr HOST:PORT]
+                     [--queue-limit N] [--deadline-ms N] [--cache-entries N]
+                     [--theta F] [--support F] [--confidence F] [--day-count-norm]
+  wikistale loadgen  --artifacts <checkpoint-dir> [--addr HOST:PORT]
+                     [--connections N] [--requests M] [--seed N] [--work-ms N]
+                     [--out <BENCH_serve.json>] [--queue-limit N]
+                     [--deadline-ms N] [--cache-entries N]
+                     [--theta F] [--support F] [--confidence F] [--day-count-norm]
 
 Every subcommand additionally accepts:
   --metrics <path>            write a pipeline-stage metrics report
@@ -67,6 +75,25 @@ finished work; results are identical to an uninterrupted run.
 resolved parallel thread count — verifies the results match exactly, and
 records both wall times plus per-stage timings as JSON (default
 BENCH_parallel.json).
+
+`serve` loads the CRC-verified `filter` stage artifact from an
+`experiment --checkpoint-dir` directory, re-trains the predictors
+deterministically, and answers staleness queries over HTTP/1.1 until
+SIGINT/SIGTERM, then drains in-flight requests:
+  GET  /healthz                        liveness + artifact generation
+  GET  /metrics[?format=json|table]    live pipeline metrics
+  GET  /v1/stale/{page}[?at=D&window=N] flagged fields with provenance
+  POST /v1/score                       batch (entity, property, window)
+Admission is bounded: past --queue-limit queued connections the server
+sheds 503 + Retry-After; requests exceeding --deadline-ms get 504.
+`--threads` sets the worker pool; responses are byte-identical at any
+thread count. `--addr 127.0.0.1:0` picks an ephemeral port (printed).
+
+`loadgen` drives a server with a seeded deterministic request mix and
+reports exact p50/p95/p99 latency plus the 503 shed rate as JSON
+(default BENCH_serve.json). Without --addr it self-hosts a server on an
+ephemeral loopback port using the same artifacts. `--work-ms` inflates
+request service time to demonstrate admission shedding.
 
 Cube files use the versioned wikicube binary format (.wcube).
 
@@ -110,12 +137,20 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         Some("top") => cmd_top(&args),
         Some("figures") => cmd_figures(&args),
         Some("bench") => cmd_bench(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("loadgen") => cmd_loadgen(&args),
         Some(other) => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
         ))),
     };
     if result.is_ok() {
-        write_metrics(&args)?;
+        // `serve`/`loadgen` reuse --metrics-format as the default
+        // rendering of the live /metrics route; for them a pipeline
+        // metrics report is only written when --metrics asks for one.
+        let serve_like = matches!(args.positional(0), Some("serve" | "loadgen"));
+        if !serve_like || args.has("metrics") {
+            write_metrics(&args)?;
+        }
     }
     result
 }
@@ -725,6 +760,187 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
     );
     println!("bench: serial and parallel results identical");
     println!("wrote bench report → {out}");
+    Ok(())
+}
+
+/// Load the serving artifact set named by `--artifacts`, with the
+/// shared predictor tuning flags folded into the cache generation.
+fn load_serve_artifacts(args: &Args) -> Result<wikistale_serve::ServeArtifacts, CliError> {
+    let dir = PathBuf::from(require(args, "artifacts")?);
+    let config = experiment_config(args)?;
+    wikistale_serve::ServeArtifacts::load(&dir, &config).map_err(CliError::from_artifact)
+}
+
+/// Parse the server tuning flags shared by `serve` and `loadgen`.
+fn serve_server_config(args: &Args) -> Result<wikistale_serve::ServerConfig, CliError> {
+    let mut config = wikistale_serve::ServerConfig::default();
+    if let Some(threads) = get_parsed::<usize>(args, "threads")? {
+        config.threads = threads;
+    }
+    match get_parsed::<usize>(args, "queue-limit")? {
+        Some(0) => return Err(CliError::Usage("--queue-limit must be at least 1".into())),
+        Some(limit) => config.queue_limit = limit,
+        None => {}
+    }
+    match get_parsed::<u64>(args, "deadline-ms")? {
+        Some(0) => return Err(CliError::Usage("--deadline-ms must be positive".into())),
+        Some(ms) => config.deadline = std::time::Duration::from_millis(ms),
+        None => {}
+    }
+    if let Some(entries) = get_parsed::<usize>(args, "cache-entries")? {
+        config.cache_entries = entries;
+    }
+    if let Some(format) = args.get("metrics-format") {
+        config.metrics_format = wikistale_serve::MetricsFormat::parse(format).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--metrics-format must be json or table, got {format:?}"
+            ))
+        })?;
+    }
+    Ok(config)
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    reject_unknown(
+        args,
+        &[
+            "artifacts",
+            "addr",
+            "queue-limit",
+            "deadline-ms",
+            "cache-entries",
+            "theta",
+            "support",
+            "confidence",
+            "day-count-norm",
+        ],
+    )?;
+    let artifacts = std::sync::Arc::new(load_serve_artifacts(args)?);
+    let config = serve_server_config(args)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8780");
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| CliError::Io(format!("cannot bind {addr}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::Io(format!("cannot resolve bound address: {e}")))?;
+    println!(
+        "wikistale serve: fingerprint {} · generation {}",
+        artifacts.fingerprint, artifacts.generation
+    );
+    println!(
+        "eval range {}..{} · {} threads · queue-limit {} · deadline {} ms · cache {}",
+        artifacts.eval_range.start(),
+        artifacts.eval_range.end(),
+        config.threads,
+        config.queue_limit,
+        config.deadline.as_millis(),
+        config.cache_entries,
+    );
+    // The "serving on" line is the machine-readable readiness signal
+    // (tests and scripts parse the address out of it; stdout is
+    // line-buffered so it flushes even when piped).
+    println!("serving on http://{local}");
+    wikistale_serve::server::signals::install();
+    let server = wikistale_serve::Server::new(artifacts, config);
+    server
+        .run(listener)
+        .map_err(|e| CliError::Io(format!("serve: {e}")))?;
+    println!("shutdown: drained in-flight requests");
+    Ok(())
+}
+
+fn cmd_loadgen(args: &Args) -> Result<(), CliError> {
+    reject_unknown(
+        args,
+        &[
+            "artifacts",
+            "addr",
+            "connections",
+            "requests",
+            "seed",
+            "work-ms",
+            "out",
+            "queue-limit",
+            "deadline-ms",
+            "cache-entries",
+            "theta",
+            "support",
+            "confidence",
+            "day-count-norm",
+        ],
+    )?;
+    let artifacts = std::sync::Arc::new(load_serve_artifacts(args)?);
+    let load_config = wikistale_serve::LoadConfig {
+        connections: get_parsed::<usize>(args, "connections")?
+            .unwrap_or(8)
+            .max(1),
+        requests: get_parsed::<usize>(args, "requests")?.unwrap_or(50).max(1),
+        seed: get_parsed::<u64>(args, "seed")?.unwrap_or(42),
+        work_ms: get_parsed::<u64>(args, "work-ms")?.unwrap_or(0),
+    };
+    let server_config = serve_server_config(args)?;
+    let out = args.get("out").unwrap_or("BENCH_serve.json");
+
+    let (report, self_hosted) = match args.get("addr") {
+        Some(addr) => {
+            let target: std::net::SocketAddr = addr
+                .parse()
+                .map_err(|e| CliError::Usage(format!("--addr: {e}")))?;
+            println!("loadgen: targeting http://{target}");
+            (
+                wikistale_serve::loadgen::run(target, &artifacts, &load_config),
+                false,
+            )
+        }
+        None => {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| CliError::Io(format!("cannot bind loopback: {e}")))?;
+            let server = wikistale_serve::Server::new(
+                std::sync::Arc::clone(&artifacts),
+                server_config.clone(),
+            );
+            let handle = server
+                .spawn(listener)
+                .map_err(|e| CliError::Io(format!("cannot start server: {e}")))?;
+            println!("loadgen: self-hosting on http://{}", handle.addr());
+            let report = wikistale_serve::loadgen::run(handle.addr(), &artifacts, &load_config);
+            handle
+                .stop()
+                .map_err(|e| CliError::Io(format!("server drain: {e}")))?;
+            (report, true)
+        }
+    };
+
+    let json = format!(
+        "{{\n  \"connections\": {},\n  \"requests_per_connection\": {},\n  \
+         \"seed\": {},\n  \"work_ms\": {},\n  \"self_hosted\": {self_hosted},\n  \
+         \"threads\": {},\n  \"queue_limit\": {},\n  \"deadline_ms\": {},\n  \
+         \"generation\": {},\n  \"report\": {}\n}}\n",
+        load_config.connections,
+        load_config.requests,
+        load_config.seed,
+        load_config.work_ms,
+        server_config.threads,
+        server_config.queue_limit,
+        server_config.deadline.as_millis(),
+        wikistale_obs::json::escape(&artifacts.generation),
+        report.render_json().trim_end(),
+    );
+    std::fs::write(out, &json).map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
+    println!(
+        "loadgen: {} requests · {} ok · {} shed (rate {:.3}) · {} late · {} errors",
+        report.total,
+        report.ok,
+        report.shed_503,
+        report.shed_rate,
+        report.deadline_504,
+        report.errors,
+    );
+    println!(
+        "loadgen: p50 {:.2} ms · p95 {:.2} ms · p99 {:.2} ms · max {:.2} ms · {:.0} req/s",
+        report.p50_ms, report.p95_ms, report.p99_ms, report.max_ms, report.rps,
+    );
+    println!("wrote load report → {out}");
     Ok(())
 }
 

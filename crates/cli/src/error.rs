@@ -12,6 +12,7 @@
 //! | 5    | ingest error budget exceeded              |
 
 use wikistale_core::checkpoint::CheckpointError;
+use wikistale_serve::ArtifactError;
 use wikistale_wikicube::CubeError;
 use wikistale_wikitext::StreamError;
 
@@ -59,6 +60,16 @@ impl CliError {
             budget @ StreamError::BudgetExceeded { .. } => {
                 CliError::BudgetExceeded(format!("{context}: {budget}"))
             }
+        }
+    }
+
+    /// Classify a serving-artifact load failure: missing files are
+    /// [`CliError::Io`], failed verification or decoding is
+    /// [`CliError::Corrupt`].
+    pub fn from_artifact(e: ArtifactError) -> CliError {
+        match e {
+            ArtifactError::Io(why) => CliError::Io(why),
+            ArtifactError::Corrupt(why) => CliError::Corrupt(why),
         }
     }
 
@@ -136,6 +147,14 @@ mod tests {
         assert_eq!(CliError::from_stream("x", budget).exit_code(), 5);
         let xml = StreamError::Xml(wikistale_wikitext::XmlError::MissingTitle);
         assert_eq!(CliError::from_stream("x", xml).exit_code(), 4);
+    }
+
+    #[test]
+    fn artifact_errors_split_io_from_corruption() {
+        let io = ArtifactError::Io("no checkpoint manifest".into());
+        assert_eq!(CliError::from_artifact(io).exit_code(), 3);
+        let bad = ArtifactError::Corrupt("CRC-32 mismatch".into());
+        assert_eq!(CliError::from_artifact(bad).exit_code(), 4);
     }
 
     #[test]

@@ -2,9 +2,8 @@
 //! predictors, run every granularity, and collect everything the tables
 //! and figures need.
 
-use crate::ensemble::{and_ensemble, or_ensemble};
 use crate::eval::{evaluate, overlap, per_window_series, truth_set, EvalOutcome, Overlap};
-use crate::predictor::{ChangePredictor, EvalData};
+use crate::predictor::EvalData;
 use crate::predictors::{
     AssocParams, AssociationRulePredictor, FieldCorrelation, FieldCorrelationParams, MeanBaseline,
     ThresholdBaseline,
@@ -156,34 +155,16 @@ pub fn evaluate_granularity(
         let _s = obs.span("truth");
         truth_set(data.index, eval_range, granularity)
     };
-    let (fc, ar, mean, threshold, and, or) = {
-        let _s = obs.span("predict");
-        let fc = {
-            let _p = obs.span("field_corr");
-            predictors.field_corr.predict(data, eval_range, granularity)
-        };
-        let ar = {
-            let _p = obs.span("assoc");
-            predictors.assoc.predict(data, eval_range, granularity)
-        };
-        let mean = {
-            let _p = obs.span("mean");
-            predictors.mean.predict(data, eval_range, granularity)
-        };
-        let threshold = {
-            let _p = obs.span("threshold");
-            predictors.threshold.predict(data, eval_range, granularity)
-        };
-        let (and, or) = {
-            let _p = obs.span("ensembles");
-            (and_ensemble(&fc, &ar), or_ensemble(&fc, &ar))
-        };
-        obs.counter("predict/emitted").add(
-            (fc.items().len() + ar.items().len() + mean.items().len() + threshold.items().len())
-                as u64,
-        );
-        (fc, ar, mean, threshold, and, or)
-    };
+    // The predictor sweep lives in `scoring::predict_all` so the serving
+    // layer answers queries through the very same code path.
+    let crate::scoring::PredictedSets {
+        field_corr: fc,
+        assoc: ar,
+        mean,
+        threshold,
+        and,
+        or,
+    } = crate::scoring::predict_all(data, predictors, eval_range, granularity);
 
     let _s = obs.span("eval");
     let weekly_series = with_weekly_series.then(|| {

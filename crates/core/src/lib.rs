@@ -60,6 +60,7 @@ pub mod predictions;
 pub mod predictor;
 pub mod predictors;
 pub mod report;
+pub mod scoring;
 pub mod split;
 pub mod tuning;
 

@@ -41,6 +41,8 @@
 //! part of any checkpoint fingerprint: artifacts produced at one thread
 //! count resume cleanly at any other.
 
+pub mod service;
+
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};

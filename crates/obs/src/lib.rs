@@ -85,6 +85,114 @@ impl SpanStat {
 #[derive(Debug, Clone)]
 pub struct Counter(Arc<AtomicU64>);
 
+/// Number of power-of-two latency buckets. Bucket `i` (for `i >= 1`)
+/// holds durations of `2^(i-1) ..= 2^i - 1` microseconds; bucket 0 holds
+/// sub-microsecond samples. 40 buckets reach ~2^39 µs ≈ 6.4 days.
+const HISTOGRAM_BUCKETS: usize = 40;
+
+#[derive(Debug)]
+struct HistogramCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> HistogramCell {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_index(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        ((64 - micros.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// A shared latency histogram handle. Recording is lock-free: one
+/// `fetch_add` into a power-of-two bucket plus running sum/max atomics,
+/// so request threads can record on every response without contention.
+///
+/// Quantiles read from a [`HistogramStat`] snapshot are upper-bound
+/// estimates (the top of the bucket containing the requested rank,
+/// clamped to the observed maximum) — at most 2x the true value, which
+/// is the right fidelity for p50/p95/p99 service latency reporting.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCell>);
+
+impl Histogram {
+    /// Record one observed duration.
+    #[inline]
+    pub fn record(&self, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.0.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.0.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time statistics for one histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramStat {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples, in microseconds.
+    pub sum_micros: u64,
+    /// Largest single sample, in microseconds.
+    pub max_micros: u64,
+    /// Per-bucket sample counts (power-of-two bucket boundaries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramStat {
+    fn from_cell(cell: &HistogramCell) -> HistogramStat {
+        let buckets: Vec<u64> = cell
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramStat {
+            count: buckets.iter().sum(),
+            sum_micros: cell.sum_micros.load(Ordering::Relaxed),
+            max_micros: cell.max_micros.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Mean sample duration, or zero when nothing was recorded.
+    pub fn mean(&self) -> Duration {
+        match self.sum_micros.checked_div(self.count) {
+            Some(mean) => Duration::from_micros(mean),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 < q <= 1.0`):
+    /// the top of the bucket holding the requested rank, clamped to the
+    /// observed maximum. Zero when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return Duration::from_micros(upper.min(self.max_micros));
+            }
+        }
+        Duration::from_micros(self.max_micros)
+    }
+}
+
 impl Counter {
     /// Increment by `delta`.
     #[inline]
@@ -122,6 +230,7 @@ pub struct MetricsRegistry {
     spans: Mutex<BTreeMap<String, SpanStat>>,
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, AtomicU64>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
 }
 
 static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
@@ -180,6 +289,19 @@ impl MetricsRegistry {
         Counter(handle)
     }
 
+    /// The shared latency histogram named `name`, created empty on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let cell = self
+            .histograms
+            .lock()
+            .expect("metrics histogram map poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramCell::new()))
+            .clone();
+        Histogram(cell)
+    }
+
     /// Set gauge `name` to `value` (last write wins).
     pub fn gauge_set(&self, name: &str, value: f64) {
         self.gauges
@@ -214,6 +336,10 @@ impl MetricsRegistry {
             .lock()
             .expect("metrics gauge map poisoned")
             .clear();
+        self.histograms
+            .lock()
+            .expect("metrics histogram map poisoned")
+            .clear();
     }
 
     /// A point-in-time copy of everything recorded so far.
@@ -237,10 +363,18 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
             .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics histogram map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), HistogramStat::from_cell(v)))
+            .collect();
         MetricsSnapshot {
             spans,
             counters,
             gauges,
+            histograms,
         }
     }
 
@@ -294,6 +428,8 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
     pub gauges: BTreeMap<String, f64>,
+    /// Histogram statistics by name.
+    pub histograms: BTreeMap<String, HistogramStat>,
 }
 
 fn fmt_ms(d: Duration) -> String {
@@ -333,6 +469,24 @@ impl MetricsSnapshot {
                 out.push_str(&format!("{name:<44} {value:>20.6}\n"));
             }
         }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "\n{:<44} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "histogram", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"
+            ));
+            for (name, stat) in &self.histograms {
+                out.push_str(&format!(
+                    "{:<44} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    name,
+                    stat.count,
+                    fmt_ms(stat.mean()),
+                    fmt_ms(stat.quantile(0.50)),
+                    fmt_ms(stat.quantile(0.95)),
+                    fmt_ms(stat.quantile(0.99)),
+                    fmt_ms(Duration::from_micros(stat.max_micros)),
+                ));
+            }
+        }
         out
     }
 
@@ -366,6 +520,26 @@ impl MetricsSnapshot {
             ));
         }
         if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, stat)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"mean_ms\": {}, \"p50_ms\": {}, \
+                 \"p95_ms\": {}, \"p99_ms\": {}, \"max_ms\": {}}}",
+                json::escape(name),
+                stat.count,
+                fmt_ms(stat.mean()),
+                fmt_ms(stat.quantile(0.50)),
+                fmt_ms(stat.quantile(0.95)),
+                fmt_ms(stat.quantile(0.99)),
+                fmt_ms(Duration::from_micros(stat.max_micros)),
+            ));
+        }
+        if !self.histograms.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("}\n}\n");
@@ -563,6 +737,76 @@ mod tests {
         let parallel = lines.iter().position(|l| l.trim() == "parallel").unwrap();
         assert_eq!(lines[parallel + 1].trim(), "assoc");
         assert!(lines[parallel + 2].trim_start().starts_with("chunk"));
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("latency");
+        // 90 fast samples at ~100µs, 10 slow at ~50ms.
+        for _ in 0..90 {
+            hist.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            hist.record(Duration::from_millis(50));
+        }
+        let stat = &registry.snapshot().histograms["latency"];
+        assert_eq!(stat.count, 100);
+        // p50 lands in the fast bucket: upper bound of [64, 127] µs.
+        let p50 = stat.quantile(0.50);
+        assert!(p50 >= Duration::from_micros(100) && p50 < Duration::from_micros(200));
+        // p95/p99 land in the slow bucket, clamped to the observed max.
+        assert_eq!(stat.quantile(0.95), Duration::from_millis(50));
+        assert_eq!(stat.quantile(0.99), Duration::from_millis(50));
+        assert_eq!(stat.max_micros, 50_000);
+        assert!(stat.mean() >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn histogram_empty_and_zero_samples() {
+        let registry = MetricsRegistry::new();
+        let stat = HistogramStat::default();
+        assert_eq!(stat.quantile(0.99), Duration::ZERO);
+        assert_eq!(stat.mean(), Duration::ZERO);
+        let hist = registry.histogram("h");
+        hist.record(Duration::ZERO);
+        let stat = &registry.snapshot().histograms["h"];
+        assert_eq!(stat.count, 1);
+        assert_eq!(stat.quantile(1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn histogram_renders_in_table_and_json() {
+        let registry = MetricsRegistry::new();
+        registry
+            .histogram("serve/latency")
+            .record(Duration::from_millis(3));
+        let table = registry.render_table();
+        assert!(table.contains("histogram"));
+        assert!(table.contains("p99_ms"));
+        let rendered = registry.render_json();
+        json::validate(&rendered).expect("valid JSON");
+        assert!(rendered.contains("\"serve/latency\""));
+        assert!(rendered.contains("\"p95_ms\""));
+        // Reset clears histograms like the other sections.
+        registry.reset();
+        assert!(registry.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn histogram_records_concurrently() {
+        let registry = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let hist = registry.histogram("h");
+                    for _ in 0..1_000 {
+                        hist.record(Duration::from_micros(10));
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.snapshot().histograms["h"].count, 4_000);
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! Deterministic loopback load harness.
+//!
+//! Drives a running server with a seeded request mix — roughly 50%
+//! `/v1/stale`, 30% `/v1/score`, 20% `/healthz` — built from the *real*
+//! page titles and tracked fields of the served corpus, so every request
+//! exercises the hot path rather than a 404 branch. The plan is a pure
+//! function of `(artifacts, seed, work_ms)`: two runs with the same seed
+//! issue byte-identical requests in the same per-connection order, which
+//! is what makes the committed `BENCH_serve.json` numbers reproducible.
+//!
+//! Connections are the unit of concurrency: `connections` client
+//! threads each send `requests` sequential one-shot requests (connect,
+//! send, read to EOF — the server always closes). Latency is measured
+//! per request and percentiles are exact (sorted raw samples, no
+//! histogram approximation — the harness is offline, it can afford it).
+//! `work_ms > 0` attaches `delay_ms` to the `/healthz` requests in the
+//! mix, inflating service time to push the server into admission
+//! shedding — the knob behind the non-zero 503 row in the bench table.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use crate::artifacts::ServeArtifacts;
+use wikistale_obs::json;
+
+/// Load run shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client threads (floored at 1).
+    pub connections: usize,
+    /// Sequential requests per connection (floored at 1).
+    pub requests: usize,
+    /// Mix seed; same seed, same request plan.
+    pub seed: u64,
+    /// `delay_ms` attached to healthz requests (0 = none) to inflate
+    /// service time and induce shedding.
+    pub work_ms: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            connections: 8,
+            requests: 50,
+            seed: 42,
+            work_ms: 0,
+        }
+    }
+}
+
+/// What a load run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub total: u64,
+    /// 2xx responses.
+    pub ok: u64,
+    /// 503 admission sheds.
+    pub shed_503: u64,
+    /// 504 deadline misses.
+    pub deadline_504: u64,
+    /// Everything else: other statuses, connect/read failures.
+    pub errors: u64,
+    /// Wall-clock for the whole run, milliseconds.
+    pub wall_ms: u64,
+    /// Completed requests per second.
+    pub rps: f64,
+    /// Exact latency percentiles over all requests, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Slowest request, milliseconds.
+    pub max_ms: f64,
+    /// `shed_503 / total`.
+    pub shed_rate: f64,
+}
+
+impl LoadReport {
+    /// Render as a stable-keyed JSON object (the `BENCH_serve.json`
+    /// payload, modulo the config echo the CLI adds).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\n  \"total\": {},\n  \"ok\": {},\n  \"shed_503\": {},\n  \
+             \"deadline_504\": {},\n  \"errors\": {},\n  \"wall_ms\": {},\n  \
+             \"rps\": {},\n  \"p50_ms\": {},\n  \"p95_ms\": {},\n  \
+             \"p99_ms\": {},\n  \"max_ms\": {},\n  \"shed_rate\": {}\n}}\n",
+            self.total,
+            self.ok,
+            self.shed_503,
+            self.deadline_504,
+            self.errors,
+            self.wall_ms,
+            json::number(self.rps),
+            json::number(self.p50_ms),
+            json::number(self.p95_ms),
+            json::number(self.p99_ms),
+            json::number(self.max_ms),
+            json::number(self.shed_rate),
+        )
+    }
+}
+
+/// xorshift64 — tiny, seedable, good enough for a request mix.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64, stream: u64) -> Rng {
+        // Split streams far apart; xorshift needs a nonzero state.
+        Rng((seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15)).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Percent-encode a path segment (everything but unreserved bytes).
+fn encode_segment(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for b in text.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// The raw request bytes one connection will send, in order. Pure in
+/// `(artifacts, seed, stream, work_ms, n)`.
+fn plan_connection(
+    artifacts: &ServeArtifacts,
+    seed: u64,
+    stream: u64,
+    work_ms: u64,
+    n: usize,
+) -> Vec<Vec<u8>> {
+    let data = artifacts.data();
+    let cube = data.cube;
+    let index = data.index;
+    let num_pages = cube.num_pages() as u64;
+    let num_fields = index.num_fields() as u64;
+    let num_windows = u64::from(artifacts.eval_range.len_days() / 7).max(1);
+    let mut rng = Rng::new(seed, stream);
+    let mut plan = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = rng.next() % 10;
+        let raw = if roll < 5 && num_pages > 0 {
+            let page = wikistale_wikicube::PageId((rng.next() % num_pages) as u32);
+            let title = encode_segment(cube.page_title(page));
+            let window = if rng.next().is_multiple_of(2) { 7 } else { 30 };
+            format!(
+                "GET /v1/stale/{title}?window={window} HTTP/1.1\r\n\
+                 Host: loadgen\r\nConnection: close\r\n\r\n"
+            )
+        } else if roll < 8 && num_fields > 0 {
+            let mut triples = String::new();
+            for i in 0..1 + (rng.next() % 3) {
+                if i > 0 {
+                    triples.push_str(", ");
+                }
+                let field = index.field((rng.next() % num_fields) as usize);
+                triples.push_str(&format!(
+                    "{{\"entity\": {}, \"property\": {}, \"window\": {}}}",
+                    json::escape(cube.entity_name(field.entity)),
+                    json::escape(cube.property_name(field.property)),
+                    rng.next() % num_windows,
+                ));
+            }
+            let body = format!("{{\"granularity\": 7, \"triples\": [{triples}]}}");
+            format!(
+                "POST /v1/score HTTP/1.1\r\nHost: loadgen\r\n\
+                 Content-Type: application/json\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{body}",
+                body.len()
+            )
+        } else {
+            let delay = if work_ms > 0 {
+                format!("?delay_ms={work_ms}")
+            } else {
+                String::new()
+            };
+            format!("GET /healthz{delay} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n")
+        };
+        plan.push(raw.into_bytes());
+    }
+    plan
+}
+
+/// One request: connect, send, read to EOF, classify. Returns
+/// `(status, latency_micros)`; status 0 means a transport error.
+fn issue(addr: SocketAddr, raw: &[u8]) -> (u16, u64) {
+    let started = Instant::now();
+    let status = (|| -> std::io::Result<u16> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.write_all(raw)?;
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response)?;
+        let text = String::from_utf8_lossy(&response);
+        Ok(text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0))
+    })()
+    .unwrap_or(0);
+    (status, started.elapsed().as_micros() as u64)
+}
+
+/// Exact percentile over sorted `samples` (micros → ms).
+fn percentile_ms(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64 / 1_000.0
+}
+
+/// Run the full load plan against `addr` and summarize.
+pub fn run(addr: SocketAddr, artifacts: &ServeArtifacts, config: &LoadConfig) -> LoadReport {
+    let connections = config.connections.max(1);
+    let requests = config.requests.max(1);
+    let started = Instant::now();
+    let mut per_thread: Vec<(u64, u64, u64, u64, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|stream| {
+                let plan = plan_connection(
+                    artifacts,
+                    config.seed,
+                    stream as u64,
+                    config.work_ms,
+                    requests,
+                );
+                scope.spawn(move || {
+                    let (mut ok, mut shed, mut late, mut errors) = (0u64, 0u64, 0u64, 0u64);
+                    let mut latencies = Vec::with_capacity(plan.len());
+                    for raw in &plan {
+                        let (status, micros) = issue(addr, raw);
+                        latencies.push(micros);
+                        match status {
+                            200..=299 => ok += 1,
+                            503 => shed += 1,
+                            504 => late += 1,
+                            _ => errors += 1,
+                        }
+                    }
+                    (ok, shed, late, errors, latencies)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                // A panicked client thread loses its latency samples; its
+                // whole plan is charged to the error bucket instead of
+                // taking the harness (and the report) down with it.
+                h.join()
+                    .unwrap_or_else(|_| (0, 0, 0, requests as u64, Vec::new()))
+            })
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut latencies = Vec::with_capacity(connections * requests);
+    let (mut ok, mut shed, mut late, mut errors) = (0u64, 0u64, 0u64, 0u64);
+    for (o, s, l, e, mut lats) in per_thread.drain(..) {
+        ok += o;
+        shed += s;
+        late += l;
+        errors += e;
+        latencies.append(&mut lats);
+    }
+    latencies.sort_unstable();
+    let total = (connections * requests) as u64;
+    let wall_secs = wall.as_secs_f64().max(1e-9);
+    LoadReport {
+        total,
+        ok,
+        shed_503: shed,
+        deadline_504: late,
+        errors,
+        wall_ms: wall.as_millis() as u64,
+        rps: total as f64 / wall_secs,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p95_ms: percentile_ms(&latencies, 0.95),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        max_ms: latencies.last().copied().unwrap_or(0) as f64 / 1_000.0,
+        shed_rate: shed as f64 / total as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routes::MetricsFormat;
+    use crate::server::{Server, ServerConfig};
+    use crate::testutil;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    #[test]
+    fn plan_is_deterministic_in_the_seed() {
+        let artifacts = testutil::tiny_artifacts();
+        let a = plan_connection(&artifacts, 7, 0, 0, 20);
+        let b = plan_connection(&artifacts, 7, 0, 0, 20);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = plan_connection(&artifacts, 8, 0, 0, 20);
+        assert_ne!(a, c, "different seed, different plan");
+        let d = plan_connection(&artifacts, 7, 1, 0, 20);
+        assert_ne!(a, d, "different stream, different plan");
+        // The mix holds all three request kinds over a long plan.
+        let long: Vec<String> = plan_connection(&artifacts, 7, 0, 25, 100)
+            .into_iter()
+            .map(|raw| String::from_utf8(raw).unwrap())
+            .collect();
+        assert!(long.iter().any(|r| r.starts_with("GET /v1/stale/")));
+        assert!(long.iter().any(|r| r.starts_with("POST /v1/score")));
+        assert!(long
+            .iter()
+            .any(|r| r.starts_with("GET /healthz?delay_ms=25")));
+    }
+
+    #[test]
+    fn report_renders_valid_json() {
+        let report = LoadReport {
+            total: 10,
+            ok: 8,
+            shed_503: 1,
+            deadline_504: 0,
+            errors: 1,
+            wall_ms: 123,
+            rps: 81.3,
+            p50_ms: 1.5,
+            p95_ms: 4.0,
+            p99_ms: 9.25,
+            max_ms: 12.0,
+            shed_rate: 0.1,
+        };
+        let rendered = report.render_json();
+        wikistale_obs::json::validate(&rendered).unwrap();
+        assert!(rendered.contains("\"shed_503\": 1"));
+    }
+
+    #[test]
+    fn drives_a_live_server_without_errors() {
+        let artifacts = std::sync::Arc::new(testutil::tiny_artifacts());
+        let server = Server::new(std::sync::Arc::clone(&artifacts), ServerConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = server.spawn(listener).unwrap();
+        let report = run(
+            handle.addr(),
+            &artifacts,
+            &LoadConfig {
+                connections: 4,
+                requests: 8,
+                seed: 1,
+                work_ms: 0,
+            },
+        );
+        handle.stop().unwrap();
+        assert_eq!(report.total, 32);
+        assert_eq!(
+            report.ok + report.shed_503 + report.deadline_504 + report.errors,
+            32
+        );
+        assert_eq!(report.errors, 0, "no transport/4xx errors expected");
+        assert!(report.ok > 0);
+        assert!(report.p50_ms <= report.p95_ms);
+        assert!(report.p95_ms <= report.p99_ms);
+        assert!(report.p99_ms <= report.max_ms);
+    }
+
+    #[test]
+    fn induces_shedding_at_queue_limit_one() {
+        let artifacts = std::sync::Arc::new(testutil::tiny_artifacts());
+        let server = Server::new(
+            std::sync::Arc::clone(&artifacts),
+            ServerConfig {
+                threads: 1,
+                queue_limit: 1,
+                deadline: Duration::from_millis(5_000),
+                cache_entries: 0,
+                metrics_format: MetricsFormat::Json,
+            },
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = server.spawn(listener).unwrap();
+        let report = run(
+            handle.addr(),
+            &artifacts,
+            &LoadConfig {
+                connections: 6,
+                requests: 6,
+                seed: 3,
+                work_ms: 40,
+            },
+        );
+        handle.stop().unwrap();
+        assert!(
+            report.shed_503 > 0,
+            "expected 503 sheds at queue-limit 1, got report {report:?}"
+        );
+        assert!(report.shed_rate > 0.0);
+    }
+}

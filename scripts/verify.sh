@@ -26,13 +26,22 @@ run cargo test -q --offline -p wikistale-cli --test chaos
 run cargo test -q --offline -p wikistale-wikicube binio
 run cargo test -q --offline -p wikistale-cli --test differential
 
-# The lossy-parsing and persistence code paths promise "typed error or
-# quarantine entry, never a panic" — a stray unwrap()/expect() in them
-# breaks that contract. Scan non-test, non-comment lines (everything
-# before the #[cfg(test)] module) of the fault-tolerant surfaces.
+# Serving gates: the query server's unit suite (admission, cache,
+# deadline, byte-determinism) plus the end-to-end suite that drives the
+# real binary over loopback TCP.
+run cargo test -q --offline -p wikistale-serve
+run cargo test -q --offline -p wikistale-cli --test serve_e2e
+
+# The lossy-parsing, persistence, and serving code paths promise "typed
+# error or quarantine entry, never a panic" — a stray unwrap()/expect()
+# in them breaks that contract. Scan non-test, non-comment lines
+# (everything before the #[cfg(test)] module) of the fault-tolerant
+# surfaces. testutil.rs is cfg(test)-gated at the module level in
+# lib.rs, so it is exempt.
 echo "==> forbid unwrap()/expect() in fault-tolerant code paths"
 violations=$(
-    for f in crates/wikitext/src/*.rs crates/wikicube/src/binio.rs; do
+    for f in crates/wikitext/src/*.rs crates/wikicube/src/binio.rs crates/serve/src/*.rs; do
+        [ "$(basename "$f")" = "testutil.rs" ] && continue
         awk '/#\[cfg\(test\)\]/ { exit }
              !/^[[:space:]]*\/\// && (/\.unwrap\(\)/ || /\.expect\(/) {
                  print FILENAME ":" FNR ": " $0

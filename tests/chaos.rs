@@ -509,3 +509,147 @@ fn experiment_crashed_under_threads_resumes_serially_to_reference() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------
+// The serving path: corrupt artifacts must be a classified startup
+// failure, and a kill -9 must be fully recoverable
+
+/// Corrupt or truncated serving artifacts fail `serve` startup with
+/// exit code 4 and a clear message — never a panic, never a server that
+/// answers from bad bytes.
+#[test]
+fn corrupt_artifacts_fail_serve_startup_with_corruption_code() {
+    let dir = tmpdir("serve-corrupt");
+    let ckpt = dir.join("ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let built = wikistale(&["experiment", "--preset", "tiny", "--checkpoint-dir", ckpt_s]);
+    assert_eq!(exit_code(&built), 0, "{}", stderr(&built));
+
+    let artifact = ckpt.join("filter.wcube");
+    let pristine = std::fs::read(&artifact).unwrap();
+
+    // Flipped byte: the CRC check refuses it.
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0xff;
+    std::fs::write(&artifact, &flipped).unwrap();
+    let out = wikistale(&["serve", "--artifacts", ckpt_s, "--addr", "127.0.0.1:0"]);
+    assert_eq!(exit_code(&out), 4, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("CRC-32"), "{}", stderr(&out));
+    assert!(!stderr(&out).contains("panicked"), "{}", stderr(&out));
+
+    // Truncated artifact: the length check refuses it.
+    std::fs::write(&artifact, &pristine[..pristine.len() / 2]).unwrap();
+    let out = wikistale(&["serve", "--artifacts", ckpt_s, "--addr", "127.0.0.1:0"]);
+    assert_eq!(exit_code(&out), 4, "stderr: {}", stderr(&out));
+    assert!(!stderr(&out).contains("panicked"), "{}", stderr(&out));
+
+    // Seeded corruptions through the fault injector, same contract.
+    for seed in 0..12u64 {
+        let mut inj = FaultInjector::new(seed);
+        let mut bytes = pristine.clone();
+        match seed % 3 {
+            0 => inj.flip_bits(&mut bytes, 1 + (seed as usize % 32)),
+            1 => inj.truncate(&mut bytes),
+            _ => bytes = inj.partial_write(&bytes),
+        }
+        if bytes == pristine {
+            continue;
+        }
+        std::fs::write(&artifact, &bytes).unwrap();
+        let out = wikistale(&["serve", "--artifacts", ckpt_s, "--addr", "127.0.0.1:0"]);
+        assert_eq!(exit_code(&out), 4, "seed {seed}: {}", stderr(&out));
+        assert!(
+            !stderr(&out).contains("panicked"),
+            "seed {seed} panicked: {}",
+            stderr(&out)
+        );
+    }
+
+    // A missing checkpoint directory is i/o (3), not corruption.
+    std::fs::remove_dir_all(&ckpt).ok();
+    let out = wikistale(&["serve", "--artifacts", ckpt_s, "--addr", "127.0.0.1:0"]);
+    assert_eq!(exit_code(&out), 3, "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("no checkpoint manifest"),
+        "{}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// kill -9 a serving process mid-load, restart on the same checkpoint:
+/// the replacement must report the identical fingerprint + generation
+/// and keep answering — serving state is fully recoverable from disk.
+#[test]
+#[cfg(unix)]
+fn killed_server_restarts_on_same_checkpoint_fingerprint() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+
+    let dir = tmpdir("serve-kill");
+    let ckpt = dir.join("ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let built = wikistale(&["experiment", "--preset", "tiny", "--checkpoint-dir", ckpt_s]);
+    assert_eq!(exit_code(&built), 0, "{}", stderr(&built));
+
+    let spawn_server = || {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_wikistale"))
+            .args(["serve", "--artifacts", ckpt_s, "--addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("serve spawns");
+        let mut reader = BufReader::new(child.stdout.take().unwrap());
+        let mut identity = String::new();
+        let addr: std::net::SocketAddr = loop {
+            let mut line = String::new();
+            assert!(
+                reader.read_line(&mut line).unwrap() > 0,
+                "server died before readiness"
+            );
+            if line.contains("fingerprint") {
+                identity = line.trim().to_string();
+            }
+            if let Some(rest) = line.trim().strip_prefix("serving on http://") {
+                break rest.parse().unwrap();
+            }
+        };
+        (child, addr, identity)
+    };
+    let healthz = |addr| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: chaos\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        text
+    };
+
+    let (mut first, first_addr, first_identity) = spawn_server();
+    // Mid-load: a few requests in flight, then SIGKILL — no drain, no
+    // goodbye, exactly what a crashed box looks like.
+    for _ in 0..3 {
+        assert!(healthz(first_addr).contains("200 OK"));
+    }
+    first.kill().expect("SIGKILL");
+    first.wait().expect("reaped");
+
+    let (mut second, second_addr, second_identity) = spawn_server();
+    assert_eq!(
+        first_identity, second_identity,
+        "restart must load the same checkpoint fingerprint + generation"
+    );
+    assert_ne!(first_addr, second_addr, "fresh ephemeral port");
+    let body = healthz(second_addr);
+    assert!(body.contains("200 OK"), "{body}");
+    assert!(
+        body.contains("\"status\": \"ok\""),
+        "restarted server must serve: {body}"
+    );
+    second.kill().ok();
+    second.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,374 @@
+//! End-to-end suite for `wikistale serve`: boots the real binary on an
+//! ephemeral loopback port over a real checkpoint directory and checks
+//! the serving contract from the outside:
+//!
+//! (a) `/v1/score` bytes are identical to rendering the batch-side
+//!     prediction sets directly — serving IS the batch code path;
+//! (b) responses are byte-identical across `--threads 1` and `4`;
+//! (c) the response cache's hit/miss counters behave;
+//! (d) `--queue-limit 1` sheds 503 + `Retry-After` under a burst;
+//! (e) SIGTERM drains: in-flight requests complete, exit code 0.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+use wikistale_core::experiment::ExperimentConfig;
+use wikistale_core::scoring::ScoreQuery;
+use wikistale_serve::routes::render_score_response;
+use wikistale_serve::ServeArtifacts;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("wikistale-serve-e2e-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Produce a real checkpoint directory with the actual binary.
+fn make_checkpoint(dir: &Path) {
+    let output = Command::new(env!("CARGO_BIN_EXE_wikistale"))
+        .args([
+            "experiment",
+            "--preset",
+            "tiny",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "experiment failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+/// A `wikistale serve` child on an ephemeral port.
+struct ServeProc {
+    child: Child,
+    addr: SocketAddr,
+    stdout: Option<BufReader<ChildStdout>>,
+    /// Startup lines printed before "serving on".
+    head: Vec<String>,
+}
+
+fn spawn_serve(dir: &Path, extra: &[&str]) -> ServeProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wikistale"))
+        .args([
+            "serve",
+            "--artifacts",
+            dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut head = Vec::new();
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            let mut err = String::new();
+            if let Some(mut stderr) = child.stderr.take() {
+                stderr.read_to_string(&mut err).ok();
+            }
+            panic!("server exited before readiness: {head:?}\nstderr: {err}");
+        }
+        let line = line.trim().to_string();
+        if let Some(rest) = line.strip_prefix("serving on http://") {
+            break rest.parse::<SocketAddr>().expect("bound address parses");
+        }
+        head.push(line);
+    };
+    ServeProc {
+        child,
+        addr,
+        stdout: Some(reader),
+        head,
+    }
+}
+
+impl ServeProc {
+    /// The startup line carrying fingerprint + generation.
+    fn identity_line(&self) -> &str {
+        self.head
+            .iter()
+            .find(|l| l.contains("fingerprint"))
+            .expect("identity line printed")
+    }
+
+    /// SIGTERM, then wait; returns (exit code, rest of stdout).
+    fn terminate(mut self) -> (i32, String) {
+        let kill = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .expect("kill runs");
+        assert!(kill.success());
+        let mut rest = String::new();
+        if let Some(mut reader) = self.stdout.take() {
+            reader.read_to_string(&mut rest).ok();
+        }
+        let status = self.child.wait().expect("child waits");
+        (status.code().expect("not signal-killed"), rest)
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn raw_request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(raw).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let text = String::from_utf8_lossy(&response).into_owned();
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, text)
+}
+
+fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
+    raw_request(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+fn http_post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
+    raw_request(
+        addr,
+        format!(
+            "POST {target} HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\
+             Content-Type: application/json\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+// ---------------------------------------------------------------------
+// (a) serving is the batch code path, to the byte
+
+#[test]
+fn score_route_bytes_match_batch_prediction_sets() {
+    let dir = tmpdir("score-batch");
+    make_checkpoint(&dir);
+    // Load the same artifacts the server will serve, through the same
+    // library path, and render the expected response from the batch
+    // prediction sets directly.
+    let artifacts = ServeArtifacts::load(&dir, &ExperimentConfig::default()).unwrap();
+    let sets = artifacts.scorer().predict(7);
+    let data = artifacts.data();
+    let mut queries = Vec::new();
+    for &(pos, w) in sets.or.items().iter().take(5) {
+        let field = data.index.field(pos as usize);
+        queries.push(ScoreQuery {
+            entity: data.cube.entity_name(field.entity).to_string(),
+            property: data.cube.property_name(field.property).to_string(),
+            window: w,
+        });
+    }
+    assert!(!queries.is_empty(), "tiny corpus has OR positives");
+    // One certain negative as well: window far from any positive.
+    let first = data.index.field(0);
+    queries.push(ScoreQuery {
+        entity: data.cube.entity_name(first.entity).to_string(),
+        property: data.cube.property_name(first.property).to_string(),
+        window: 0,
+    });
+    let expected = render_score_response(&artifacts, &sets, 7, &queries).unwrap();
+
+    let triples: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            format!(
+                "{{\"entity\": {}, \"property\": {}, \"window\": {}}}",
+                wikistale_obs::json::escape(&q.entity),
+                wikistale_obs::json::escape(&q.property),
+                q.window
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\"granularity\": 7, \"triples\": [{}]}}",
+        triples.join(", ")
+    );
+
+    let server = spawn_serve(&dir, &[]);
+    let (status, text) = http_post(server.addr, "/v1/score", &body);
+    assert_eq!(status, 200, "{text}");
+    assert_eq!(
+        body_of(&text),
+        expected,
+        "served bytes diverge from batch-rendered bytes"
+    );
+    // The identity line carries the generation the cache is keyed by.
+    assert!(server.identity_line().contains(&artifacts.generation));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// (b) byte-identical across thread counts
+
+#[test]
+fn responses_are_byte_identical_across_thread_counts() {
+    let dir = tmpdir("threads");
+    make_checkpoint(&dir);
+    let one = spawn_serve(&dir, &["--threads", "1"]);
+    let four = spawn_serve(&dir, &["--threads", "4"]);
+    let score_body = "{\"granularity\": 7, \"triples\": []}";
+    let targets = [
+        "/healthz",
+        "/v1/stale/Page%200-0?window=7",
+        "/v1/stale/Page%201-1?window=30&at=2019-06-01",
+        "/v1/stale/No%20Such%20Page",
+        "/nope",
+    ];
+    for target in targets {
+        let (s1, r1) = http_get(one.addr, target);
+        let (s4, r4) = http_get(four.addr, target);
+        assert_eq!(s1, s4, "{target}");
+        assert_eq!(r1, r4, "response bytes differ at {target}");
+    }
+    let (s1, r1) = http_post(one.addr, "/v1/score", score_body);
+    let (s4, r4) = http_post(four.addr, "/v1/score", score_body);
+    assert_eq!(s1, 200);
+    assert_eq!(s4, 200);
+    assert_eq!(r1, r4, "score bytes differ across thread counts");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// (c) cache hit/miss counters
+
+#[test]
+fn cache_counters_track_hits_and_misses() {
+    let dir = tmpdir("cache");
+    make_checkpoint(&dir);
+    let server = spawn_serve(&dir, &[]);
+    let target = "/v1/stale/Page%200-0?window=7";
+
+    let counters = |addr| {
+        let (status, text) = http_get(addr, "/metrics?format=json");
+        assert_eq!(status, 200);
+        let parsed = wikistale_obs::json::parse(body_of(&text)).expect("metrics is valid JSON");
+        let read = |name: &str| {
+            parsed
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(wikistale_obs::json::Value::as_f64)
+                .unwrap_or(0.0) as i64
+        };
+        (read("serve/cache/hit"), read("serve/cache/miss"))
+    };
+
+    let (hits0, misses0) = counters(server.addr);
+    let (status, first) = http_get(server.addr, target);
+    assert_eq!(status, 200);
+    let (hits1, misses1) = counters(server.addr);
+    assert_eq!(hits1, hits0, "first request cannot hit");
+    assert!(misses1 > misses0, "first request must miss");
+
+    let (status, second) = http_get(server.addr, target);
+    assert_eq!(status, 200);
+    assert_eq!(
+        body_of(&first),
+        body_of(&second),
+        "cached response must be byte-identical"
+    );
+    let (hits2, misses2) = counters(server.addr);
+    assert!(hits2 > hits1, "second identical request must hit");
+    assert_eq!(misses2, misses1, "second request must not miss");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// (d) admission shedding at queue-limit 1
+
+#[test]
+fn queue_limit_one_sheds_503_with_retry_after() {
+    let dir = tmpdir("shed");
+    make_checkpoint(&dir);
+    let server = spawn_serve(
+        &dir,
+        &[
+            "--threads",
+            "1",
+            "--queue-limit",
+            "1",
+            "--deadline-ms",
+            "10000",
+        ],
+    );
+    let addr = server.addr;
+    let results: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let blocker = scope.spawn(move || http_get(addr, "/healthz?delay_ms=700"));
+        std::thread::sleep(Duration::from_millis(200));
+        let burst: Vec<_> = (0..8)
+            .map(|_| scope.spawn(move || http_get(addr, "/healthz")))
+            .collect();
+        let mut all: Vec<(u16, String)> = burst.into_iter().map(|h| h.join().unwrap()).collect();
+        all.push(blocker.join().unwrap());
+        all
+    });
+    let shed: Vec<&(u16, String)> = results.iter().filter(|(s, _)| *s == 503).collect();
+    assert!(
+        !shed.is_empty(),
+        "expected 503s at queue-limit 1: {:?}",
+        results.iter().map(|(s, _)| *s).collect::<Vec<_>>()
+    );
+    for (_, text) in &shed {
+        assert!(text.contains("Retry-After: 1"), "503 without Retry-After");
+    }
+    assert!(
+        results.iter().any(|(s, _)| *s == 200),
+        "everything shed — server wedged"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// (e) SIGTERM drains in-flight work
+
+#[test]
+#[cfg(unix)]
+fn sigterm_drains_in_flight_requests_and_exits_zero() {
+    let dir = tmpdir("drain");
+    make_checkpoint(&dir);
+    let server = spawn_serve(&dir, &["--threads", "1", "--deadline-ms", "10000"]);
+    let addr = server.addr;
+    let in_flight = std::thread::spawn(move || http_get(addr, "/healthz?delay_ms=800"));
+    std::thread::sleep(Duration::from_millis(250));
+    let (code, rest) = server.terminate();
+    assert_eq!(code, 0, "drain must exit cleanly; stdout: {rest}");
+    assert!(rest.contains("drained"), "missing drain message: {rest}");
+    let (status, text) = in_flight.join().unwrap();
+    assert_eq!(status, 200, "in-flight request dropped: {text}");
+    // And the port actually closed.
+    assert!(TcpStream::connect(addr).is_err(), "listener still open");
+    std::fs::remove_dir_all(&dir).ok();
+}
