@@ -41,6 +41,8 @@ USAGE:
                      [--checkpoint-dir <dir>] [--resume]
   wikistale bench    [--preset tiny|small|medium] [--seed N] [--scale F]
                      [--no-min-changes] [--out <BENCH_parallel.json>]
+  wikistale bench pipeline [--scale tiny|small|medium] [--seed N]
+                     [--out <BENCH_pipeline.json>]
   wikistale serve    --artifacts <checkpoint-dir> [--addr HOST:PORT]
                      [--queue-limit N] [--deadline-ms N] [--cache-entries N]
                      [--theta F] [--support F] [--confidence F] [--day-count-norm]
@@ -75,6 +77,13 @@ finished work; results are identical to an uninterrupted run.
 resolved parallel thread count — verifies the results match exactly, and
 records both wall times plus per-stage timings as JSON (default
 BENCH_parallel.json).
+
+`bench pipeline` times every stage of the end-to-end pipeline
+(synth → filter → cube → train → predict → eval) at --threads 1 and at
+the resolved parallel thread count, recording wall time and peak
+allocator bytes per stage plus the columnar change-table and day-store
+memory versus their row-layout baselines (default BENCH_pipeline.json).
+The two legs' predictions must be byte-identical or the command fails.
 
 `serve` loads the CRC-verified `filter` stage artifact from an
 `experiment --checkpoint-dir` directory, re-trains the predictors
@@ -694,6 +703,9 @@ fn bench_stage_json(stages: &[(String, f64)]) -> String {
 }
 
 fn cmd_bench(args: &Args) -> Result<(), CliError> {
+    if args.positional(1) == Some("pipeline") {
+        return cmd_bench_pipeline(args);
+    }
     reject_unknown(
         args,
         &[
@@ -760,6 +772,255 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
     );
     println!("bench: serial and parallel results identical");
     println!("wrote bench report → {out}");
+    Ok(())
+}
+
+/// One timed stage of `bench pipeline`: wall time plus heap usage (peak
+/// above the stage's baseline, and bytes still live when it finished).
+struct PipelineStage {
+    name: &'static str,
+    wall_ms: f64,
+    peak_alloc_bytes: u64,
+    retained_bytes: u64,
+}
+
+/// Run `f` as one named pipeline stage, recording its wall time and
+/// allocator high-water mark into `stages`.
+fn pipeline_stage<T>(
+    name: &'static str,
+    stages: &mut Vec<PipelineStage>,
+    f: impl FnOnce() -> T,
+) -> T {
+    let scope = wikistale_obs::alloc::AllocScope::begin();
+    let wall = std::time::Instant::now();
+    let value = f();
+    stages.push(PipelineStage {
+        name,
+        wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+        peak_alloc_bytes: scope.peak_delta() as u64,
+        retained_bytes: scope.retained_delta() as u64,
+    });
+    value
+}
+
+/// Memory layout of the filtered cube's hot data plane, with the
+/// row-layout baselines the columnar representation is measured against.
+struct CubeMemory {
+    num_changes: usize,
+    change_table_bytes: usize,
+    row_layout_baseline_bytes: usize,
+    day_store_bytes: usize,
+    day_store_decoded_baseline_bytes: usize,
+}
+
+/// What one `bench pipeline` leg produced: stage timings plus the exact
+/// prediction sets and evaluation outcomes, for the cross-leg
+/// determinism check.
+struct PipelineLeg {
+    threads: usize,
+    wall_ms: f64,
+    stages: Vec<PipelineStage>,
+    memory: CubeMemory,
+    predicted: Vec<wikistale_core::scoring::PredictedSets>,
+    outcomes: Vec<Vec<wikistale_core::EvalOutcome>>,
+}
+
+/// One leg of `bench pipeline`: the full synth → filter → cube → train →
+/// predict → eval pipeline at a pinned thread count, each stage timed
+/// and memory-profiled separately.
+fn pipeline_leg(
+    config: &SynthConfig,
+    exp_config: &ExperimentConfig,
+    threads: usize,
+) -> Result<PipelineLeg, CliError> {
+    use wikistale_core::experiment::TrainedPredictors;
+    use wikistale_core::scoring::predict_all;
+    use wikistale_core::{truth_set, EvalData, GRANULARITIES};
+    wikistale_exec::set_threads(threads);
+    let mut stages = Vec::new();
+    let wall = std::time::Instant::now();
+    let corpus = pipeline_stage("synth", &mut stages, || {
+        wikistale_synth::try_generate(config)
+    })?;
+    let filtered = pipeline_stage("filter", &mut stages, || {
+        FilterPipeline::paper().apply(&corpus.cube).0
+    });
+    drop(corpus);
+    let span = filtered
+        .time_span()
+        .ok_or_else(|| CliError::Other("filtered cube is empty — nothing to bench".into()))?;
+    let split = EvalSplit::for_span(span).ok_or_else(|| {
+        CliError::Other("corpus spans less than the two years needed for validation + test".into())
+    })?;
+    // "cube": materialize the shared delta-encoded day-list store and the
+    // evaluation index over it.
+    let index = pipeline_stage("cube", &mut stages, || {
+        filtered.day_lists();
+        CubeIndex::build(&filtered)
+    });
+    let day_store = filtered.day_lists();
+    let memory = CubeMemory {
+        num_changes: filtered.num_changes(),
+        change_table_bytes: filtered.change_table_bytes(),
+        row_layout_baseline_bytes: filtered.row_layout_baseline_bytes(),
+        day_store_bytes: day_store.heap_bytes(),
+        day_store_decoded_baseline_bytes: day_store.decoded_baseline_bytes(),
+    };
+    let data = EvalData::new(&filtered, &index);
+    let predictors = pipeline_stage("train", &mut stages, || {
+        TrainedPredictors::train(&data, split.train_and_validation(), exp_config)
+    });
+    let predicted: Vec<wikistale_core::scoring::PredictedSets> =
+        pipeline_stage("predict", &mut stages, || {
+            GRANULARITIES
+                .iter()
+                .map(|&g| predict_all(&data, &predictors, split.test, g))
+                .collect()
+        });
+    let outcomes: Vec<Vec<wikistale_core::EvalOutcome>> =
+        pipeline_stage("eval", &mut stages, || {
+            GRANULARITIES
+                .iter()
+                .zip(&predicted)
+                .map(|(&g, sets)| {
+                    let truth = truth_set(&index, split.test, g);
+                    [
+                        &sets.mean,
+                        &sets.threshold,
+                        &sets.field_corr,
+                        &sets.assoc,
+                        &sets.and,
+                        &sets.or,
+                    ]
+                    .into_iter()
+                    .map(|set| wikistale_core::eval::evaluate(set, &truth))
+                    .collect()
+                })
+                .collect()
+        });
+    Ok(PipelineLeg {
+        threads,
+        wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+        stages,
+        memory,
+        predicted,
+        outcomes,
+    })
+}
+
+fn pipeline_leg_json(leg: &PipelineLeg) -> String {
+    let stages: Vec<String> = leg
+        .stages
+        .iter()
+        .map(|s| {
+            format!(
+                "        {{\"name\": \"{}\", \"wall_ms\": {:.3}, \
+                 \"peak_alloc_bytes\": {}, \"retained_bytes\": {}}}",
+                s.name, s.wall_ms, s.peak_alloc_bytes, s.retained_bytes
+            )
+        })
+        .collect();
+    format!(
+        "    {{\n      \"threads\": {},\n      \"wall_ms\": {:.3},\n      \
+         \"stages\": [\n{}\n      ]\n    }}",
+        leg.threads,
+        leg.wall_ms,
+        stages.join(",\n")
+    )
+}
+
+fn cmd_bench_pipeline(args: &Args) -> Result<(), CliError> {
+    reject_unknown(args, &["scale", "seed", "out"])?;
+    let scale = args.get("scale").unwrap_or("small");
+    let mut config = match scale {
+        "tiny" => SynthConfig::tiny(),
+        "small" => SynthConfig::small(),
+        "medium" => SynthConfig::medium(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown scale {other:?} (tiny|small|medium)"
+            )))
+        }
+    };
+    if let Some(seed) = get_parsed::<u64>(args, "seed")? {
+        config.seed = seed;
+    }
+    let exp_config = ExperimentConfig::default();
+    let out = args.get("out").unwrap_or("BENCH_pipeline.json");
+    let resolved = wikistale_exec::threads();
+    let parallel_threads = if resolved > 1 { resolved } else { 4 };
+
+    let serial = pipeline_leg(&config, &exp_config, 1)?;
+    let parallel = pipeline_leg(&config, &exp_config, parallel_threads)?;
+    // Restore the dispatch-time thread configuration.
+    match get_parsed::<usize>(args, "threads")? {
+        Some(n) => wikistale_exec::set_threads(n),
+        None => wikistale_exec::set_threads(0),
+    }
+
+    // The bench doubles as the end-to-end row-vs-columnar differential:
+    // both legs must produce the exact same prediction sets and scores.
+    if serial.predicted != parallel.predicted || serial.outcomes != parallel.outcomes {
+        return Err(CliError::Other(
+            "bench pipeline: parallel results diverged from serial — determinism bug".into(),
+        ));
+    }
+    let m = &parallel.memory;
+    let savings = |actual: usize, baseline: usize| {
+        if baseline == 0 {
+            0.0
+        } else {
+            1.0 - actual as f64 / baseline as f64
+        }
+    };
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"parallel_threads\": {},\n  \
+         \"identical_results\": true,\n  \"legs\": [\n{},\n{}\n  ],\n  \
+         \"memory\": {{\n    \"num_changes\": {},\n    \
+         \"change_table_bytes\": {},\n    \"row_layout_baseline_bytes\": {},\n    \
+         \"change_table_savings_fraction\": {:.4},\n    \
+         \"day_store_bytes\": {},\n    \"day_store_decoded_baseline_bytes\": {},\n    \
+         \"day_store_savings_fraction\": {:.4}\n  }}\n}}\n",
+        scale.replace('"', ""),
+        config.seed,
+        parallel_threads,
+        pipeline_leg_json(&serial),
+        pipeline_leg_json(&parallel),
+        m.num_changes,
+        m.change_table_bytes,
+        m.row_layout_baseline_bytes,
+        savings(m.change_table_bytes, m.row_layout_baseline_bytes),
+        m.day_store_bytes,
+        m.day_store_decoded_baseline_bytes,
+        savings(m.day_store_bytes, m.day_store_decoded_baseline_bytes),
+    );
+    std::fs::write(out, &json).map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
+    println!(
+        "bench pipeline ({scale}): serial {:.0} ms, parallel ({} threads) {:.0} ms",
+        serial.wall_ms, parallel.threads, parallel.wall_ms
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>16} {:>16}",
+        "stage", "t1_ms", "tN_ms", "t1_peak_bytes", "tN_peak_bytes"
+    );
+    for (s1, sn) in serial.stages.iter().zip(&parallel.stages) {
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>16} {:>16}",
+            s1.name, s1.wall_ms, sn.wall_ms, s1.peak_alloc_bytes, sn.peak_alloc_bytes
+        );
+    }
+    println!(
+        "memory: change table {} B vs row baseline {} B ({:.1} % saved); \
+         day store {} B vs decoded baseline {} B ({:.1} % saved)",
+        m.change_table_bytes,
+        m.row_layout_baseline_bytes,
+        100.0 * savings(m.change_table_bytes, m.row_layout_baseline_bytes),
+        m.day_store_bytes,
+        m.day_store_decoded_baseline_bytes,
+        100.0 * savings(m.day_store_bytes, m.day_store_decoded_baseline_bytes),
+    );
+    println!("bench pipeline: serial and parallel results identical");
+    println!("wrote pipeline report → {out}");
     Ok(())
 }
 
@@ -1377,6 +1638,50 @@ mod tests {
     }
 
     #[test]
+    fn bench_pipeline_writes_report_and_verifies_determinism() {
+        let dir = std::env::temp_dir().join("wikistale-cli-bench-pipeline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_pipeline.json");
+        run_words(&[
+            "bench",
+            "pipeline",
+            "--scale",
+            "tiny",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = std::fs::read_to_string(&out).unwrap();
+        let v = wikistale_obs::json::parse(&report).unwrap();
+        assert!(matches!(
+            v.get("identical_results"),
+            Some(wikistale_obs::json::Value::Bool(true))
+        ));
+        // Both legs report the full six-stage breakdown.
+        for stage in ["synth", "filter", "cube", "train", "predict", "eval"] {
+            assert!(
+                report.contains(&format!("\"name\": \"{stage}\"")),
+                "{stage}"
+            );
+        }
+        // The columnar change table must beat the row-layout baseline,
+        // and the counting allocator must have observed the pipeline
+        // (the CLI installs it as the global allocator).
+        let mem = v.get("memory").expect("memory section");
+        let table = mem.get("change_table_bytes").and_then(|x| x.as_f64());
+        let baseline = mem
+            .get("row_layout_baseline_bytes")
+            .and_then(|x| x.as_f64());
+        assert!(
+            table.unwrap() < baseline.unwrap(),
+            "{table:?} vs {baseline:?}"
+        );
+        assert!(report.contains("\"peak_alloc_bytes\""));
+        assert!(run_words(&["bench", "pipeline", "--scale", "nope"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn monitor_rejects_bad_dates_and_windows() {
         let dir = std::env::temp_dir().join("wikistale-cli-test2");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1391,6 +1696,9 @@ mod tests {
         .unwrap();
         let raw = raw.to_str().unwrap();
         assert!(run_words(&["monitor", "--in", raw, "--at", "junk"]).is_err());
+        // Signed date components must be rejected at the flag layer too
+        // (Date::from_str used to accept `+2018-+09-+01`).
+        assert!(run_words(&["monitor", "--in", raw, "--at", "+2019-+06-+01"]).is_err());
         assert!(run_words(&[
             "monitor",
             "--in",

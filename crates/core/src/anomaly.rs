@@ -95,7 +95,11 @@ pub fn find_counter_anomalies(
         // Collect the numeric (day, value) series from the change table.
         let mut series: Vec<(Date, i64)> = Vec::with_capacity(days.len());
         let mut non_numeric = 0usize;
-        let span = DateRange::new(days[0], days[days.len() - 1] + 1);
+        let (first, last) = match (days.first(), days.last()) {
+            (Some(f), Some(l)) => (f, l),
+            _ => continue,
+        };
+        let span = DateRange::new(first, last + 1);
         for c in cube.changes_in(span) {
             if c.field() != field {
                 continue;

@@ -85,12 +85,7 @@ pub fn truth_set(index: &CubeIndex, range: DateRange, granularity: u32) -> Predi
         wikistale_exec::par_ranges("truth_fields", index.num_fields(), 4_096, |positions| {
             let mut items: Vec<(u32, u32)> = Vec::new();
             for pos in positions {
-                let days = index.days(pos);
-                let lo = days.partition_point(|&d| d < range.start());
-                for &day in &days[lo..] {
-                    if day >= range.end() {
-                        break;
-                    }
+                for day in index.days(pos).iter_in(range) {
                     if let Some(window) = probe.window_of(day) {
                         items.push((pos as u32, window));
                     }

@@ -128,7 +128,7 @@ pub fn explain(
 
     // Field-correlation reasons: partners that changed inside the window.
     for &partner_pos in field_corr.partners_of(pos) {
-        let days = days_in(index.days(partner_pos as usize), window);
+        let days: Vec<Date> = index.days(partner_pos as usize).iter_in(window).collect();
         if !days.is_empty() {
             reasons.push(Reason::CorrelatedPartnerChanged {
                 partner: index.field(partner_pos as usize),
@@ -148,7 +148,7 @@ pub fn explain(
         let Some(trigger_pos) = index.position(trigger) else {
             continue;
         };
-        let days = days_in(index.days(trigger_pos), window);
+        let days: Vec<Date> = index.days(trigger_pos).iter_in(window).collect();
         if !days.is_empty() {
             reasons.push(Reason::RuleFired {
                 trigger,
@@ -164,15 +164,6 @@ pub fn explain(
         window,
         reasons,
     })
-}
-
-fn days_in(days: &[Date], window: DateRange) -> Vec<Date> {
-    let lo = days.partition_point(|&d| d < window.start());
-    days[lo..]
-        .iter()
-        .take_while(|&&d| d < window.end())
-        .copied()
-        .collect()
 }
 
 #[cfg(test)]

@@ -74,7 +74,7 @@ impl FilterPipeline {
         if self.dedup_days {
             let _s = obs.span("dedup_days");
             let next = current
-                .with_changes(dedup_days(current.changes()))
+                .with_changes(dedup_days(current.iter_changes()))
                 .expect("dedup preserves referential integrity");
             report.push_stage("same-day duplicates", &current, &next);
             current = next;
@@ -88,7 +88,7 @@ impl FilterPipeline {
         if let Some(min) = self.min_changes {
             let _s = obs.span("min_changes");
             let mut counts: FxHashMap<FieldId, usize> = FxHashMap::default();
-            for c in current.changes() {
+            for c in current.iter_changes() {
                 *counts.entry(c.field()).or_insert(0) += 1;
             }
             let next = current.retain_changes(|c| counts[&c.field()] >= min);
@@ -119,19 +119,22 @@ impl Default for FilterPipeline {
 /// and to keep the report's stage list aligned with the paper's §4.
 ///
 /// The input must be in canonical `(day, entity, property)` order (as
-/// [`ChangeCube::changes`] guarantees), which makes each (field, day) group
-/// contiguous.
-fn dedup_days(changes: &[Change]) -> Vec<Change> {
-    let mut out = Vec::with_capacity(changes.len());
-    let mut i = 0;
-    while i < changes.len() {
-        let mut j = i + 1;
-        let key = (changes[i].day, changes[i].entity, changes[i].property);
-        while j < changes.len() && (changes[j].day, changes[j].entity, changes[j].property) == key {
-            j += 1;
+/// [`ChangeCube::iter_changes`] guarantees), which makes each (field, day)
+/// group contiguous.
+fn dedup_days(changes: impl IntoIterator<Item = Change>) -> Vec<Change> {
+    let mut out = Vec::new();
+    let mut group: Vec<Change> = Vec::new();
+    for c in changes {
+        if let Some(head) = group.first() {
+            if (head.day, head.entity, head.property) != (c.day, c.entity, c.property) {
+                out.push(representative(&group));
+                group.clear();
+            }
         }
-        out.push(representative(&changes[i..j]));
-        i = j;
+        group.push(c);
+    }
+    if !group.is_empty() {
+        out.push(representative(&group));
     }
     out
 }
@@ -259,7 +262,7 @@ mod tests {
         };
         let (cube, _) = pipeline.apply(&b.finish());
         assert_eq!(cube.num_changes(), 1);
-        assert_eq!(cube.value_text(cube.changes()[0].value), "real");
+        assert_eq!(cube.value_text(cube.change_at(0).value), "real");
     }
 
     #[test]
@@ -277,7 +280,7 @@ mod tests {
         }
         .apply(&b.finish());
         assert_eq!(cube.num_changes(), 1);
-        assert_eq!(cube.value_text(cube.changes()[0].value), "second");
+        assert_eq!(cube.value_text(cube.change_at(0).value), "second");
     }
 
     #[test]
@@ -316,7 +319,7 @@ mod tests {
         }
         .apply(&b.finish());
         assert_eq!(cube.num_changes(), 1);
-        assert_eq!(cube.changes()[0].kind, ChangeKind::Update);
+        assert_eq!(cube.change_at(0).kind, ChangeKind::Update);
         assert_eq!(report.stages[0].removed, 2);
     }
 
@@ -342,8 +345,7 @@ mod tests {
         assert_eq!(cube.num_changes(), 5);
         assert_eq!(report.stages[0].removed, 4);
         assert!(cube
-            .changes()
-            .iter()
+            .iter_changes()
             .all(|c| cube.property_name(c.property) == "busy"));
     }
 
@@ -400,7 +402,7 @@ mod tests {
         };
         let (once, _) = pipeline.apply(&b.finish());
         let (twice, report) = pipeline.apply(&once);
-        assert_eq!(once.changes(), twice.changes());
+        assert_eq!(once.changes_vec(), twice.changes_vec());
         assert_eq!(report.stages[0].removed, 0);
     }
 

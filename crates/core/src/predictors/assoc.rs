@@ -75,16 +75,27 @@ type WeeklyKey = (EntityId, u32);
 
 /// Build the weekly per-infobox transaction map for changes in `range`.
 /// Weeks are 7-day buckets counted from `range.start()`.
+///
+/// Reads the cube's shared [`wikistale_wikicube::DayListStore`] rather
+/// than re-scanning the change table: each field contributes its (already
+/// deduplicated, sorted) change days directly, and a field enters a week's
+/// transaction at most once.
 fn weekly_transactions(
     cube: &ChangeCube,
     range: DateRange,
 ) -> FxHashMap<WeeklyKey, Vec<PropertyId>> {
     let mut map: FxHashMap<WeeklyKey, Vec<PropertyId>> = FxHashMap::default();
-    for c in cube.changes_in(range) {
-        let week = (c.day - range.start()) as u32 / 7;
-        let props = map.entry((c.entity, week)).or_default();
-        if props.last() != Some(&c.property) {
-            props.push(c.property);
+    for (_, field, list) in cube.day_lists().iter() {
+        let mut last_week = None;
+        for day in list.iter_in(range) {
+            let week = (day - range.start()) as u32 / 7;
+            if last_week == Some(week) {
+                continue;
+            }
+            last_week = Some(week);
+            map.entry((field.entity, week))
+                .or_default()
+                .push(field.property);
         }
     }
     for props in map.values_mut() {

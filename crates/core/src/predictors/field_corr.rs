@@ -229,16 +229,21 @@ impl FieldCorrelation {
             let mut rules: Vec<(u32, u32)> = Vec::new();
             for &page in chunk {
                 let fields = index.fields_on_page(page);
+                // Decode each field's delta-encoded day list once per
+                // page; the pairwise distance loop reads plain slices.
+                let decoded: Vec<Vec<Date>> = fields
+                    .iter()
+                    .map(|&f| index.days(f as usize).to_vec())
+                    .collect();
                 for (i, &a) in fields.iter().enumerate() {
-                    let a_days = index.days(a as usize);
+                    let a_days = &decoded[i];
                     if in_range(a_days, range).is_empty() {
                         continue;
                     }
-                    for &b in &fields[i + 1..] {
-                        let b_days = index.days(b as usize);
+                    for (j, &b) in fields.iter().enumerate().skip(i + 1) {
                         let d = change_distance_lagged(
                             a_days,
-                            b_days,
+                            &decoded[j],
                             range,
                             params.norm,
                             params.lag_days,
@@ -305,7 +310,7 @@ impl ChangePredictor for FieldCorrelation {
         let mut set = PredictionSet::new(range, granularity);
         for (&field, partners) in &self.partners {
             for &partner in partners {
-                for &day in in_range(data.index.days(partner as usize), range) {
+                for day in data.index.days(partner as usize).iter_in(range) {
                     set.insert_day(field, day);
                 }
             }

@@ -29,14 +29,14 @@ impl MeanBaseline {
         let mean_gap = (0..index.num_fields())
             .map(|pos| {
                 let days = index.days(pos);
-                let lo = days.partition_point(|&d| d < range.start());
-                let hi = days.partition_point(|&d| d < range.end());
-                let days = &days[lo..hi];
-                if days.len() < 2 {
+                let n = days.count_before(range.end()) - days.count_before(range.start());
+                if n < 2 {
                     return None;
                 }
-                let span = (*days.last().unwrap() - days[0]) as f64;
-                let gap = span / (days.len() - 1) as f64;
+                let first = days.iter_from(range.start()).next()?;
+                let last = days.last_before(range.end())?;
+                let span = (last - first) as f64;
+                let gap = span / (n - 1) as f64;
                 // Identical-day histories cannot happen after
                 // day-deduplication, but guard the division downstream.
                 (gap > 0.0).then_some(gap)
@@ -75,13 +75,9 @@ impl ChangePredictor for MeanBaseline {
             let days = data.index.days(pos);
             for w in 0..set.num_windows() {
                 let window = set.window_range(w);
-                let before = data.index.days_before(pos, window.start());
-                let Some(&last) = before.last() else {
+                let Some(last) = days.last_before(window.start()) else {
                     continue;
                 };
-                // An in-range `days` slice is non-empty iff `before` is;
-                // silence the unused warning explicitly.
-                let _ = days;
                 let elapsed = (window.start() - last) as f64;
                 let steps = (elapsed / gap).ceil().max(1.0);
                 let forecast = last.day_number() as f64 + steps * gap;

@@ -58,13 +58,9 @@ impl ChangePredictor for ThresholdBaseline {
         }
         for pos in 0..data.index.num_fields() {
             let days = data.index.days(pos);
-            let lo = days.partition_point(|&d| d < reference.start());
             let mut windows_with_change = 0u32;
             let mut last_window = None;
-            for &day in &days[lo..] {
-                if day >= reference.end() {
-                    break;
-                }
+            for day in days.iter_in(reference) {
                 let w = ref_windows.window_of(day);
                 if w.is_some() && w != last_window {
                     windows_with_change += 1;

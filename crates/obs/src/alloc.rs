@@ -1,0 +1,246 @@
+//! A counting global allocator.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and maintains three
+//! process-wide atomics: the *current* number of live heap bytes, the
+//! *global peak* since process start, and a resettable *scope peak* used
+//! to attribute peak memory to one pipeline stage at a time. Binaries opt
+//! in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: wikistale_obs::alloc::CountingAlloc =
+//!     wikistale_obs::alloc::CountingAlloc;
+//! ```
+//!
+//! and libraries read the counters through [`current_bytes`] /
+//! [`peak_bytes`] / [`AllocScope`]. When no binary installs the
+//! allocator the counters simply stay at zero — readers must treat zero
+//! as "not measured", never as "no memory".
+//!
+//! Every counter update is a relaxed `fetch_add`/`fetch_max`; the
+//! allocator adds no locks and no allocation of its own, so it is safe
+//! (and cheap, a few nanoseconds per call) to leave installed in
+//! production binaries.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live heap bytes right now.
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+/// Largest value `CURRENT` has ever reached.
+static GLOBAL_PEAK: AtomicUsize = AtomicUsize::new(0);
+/// Largest value `CURRENT` has reached since the last [`AllocScope`]
+/// began. Only meaningful while a single scope is active.
+static SCOPE_PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// The counting allocator. A unit struct so it can be used directly as a
+/// `#[global_allocator]` static.
+pub struct CountingAlloc;
+
+#[inline]
+fn on_alloc(size: usize) {
+    let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+    GLOBAL_PEAK.fetch_max(now, Ordering::Relaxed);
+    SCOPE_PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+#[inline]
+fn on_dealloc(size: usize) {
+    CURRENT.fetch_sub(size, Ordering::Relaxed);
+}
+
+// SAFETY: delegates every allocation verbatim to `System`; the counter
+// updates are lock-free atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc_zeroed(layout) };
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+/// Live heap bytes right now. Zero when [`CountingAlloc`] is not the
+/// process's global allocator.
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// Peak live heap bytes since process start. Zero when [`CountingAlloc`]
+/// is not installed.
+pub fn peak_bytes() -> usize {
+    GLOBAL_PEAK.load(Ordering::Relaxed)
+}
+
+/// A measurement scope attributing peak heap usage to one region of code.
+///
+/// `begin` snapshots the current live-byte count and resets the shared
+/// scope-peak mark; [`AllocScope::peak_bytes`] then reports the highest
+/// live-byte count observed since. Scopes share one global mark, so only
+/// one should be active at a time — the intended use is sequential
+/// pipeline stages, each wrapped in its own scope:
+///
+/// ```
+/// let scope = wikistale_obs::alloc::AllocScope::begin();
+/// let data = vec![0u8; 1 << 16]; // ... the stage under measurement ...
+/// drop(data);
+/// let stage_peak = scope.peak_delta(); // extra bytes the stage needed
+/// ```
+#[derive(Debug)]
+pub struct AllocScope {
+    start: usize,
+}
+
+impl AllocScope {
+    /// Start a new scope: record the live-byte baseline and reset the
+    /// scope-peak mark to it.
+    pub fn begin() -> AllocScope {
+        let start = CURRENT.load(Ordering::Relaxed);
+        SCOPE_PEAK.store(start, Ordering::Relaxed);
+        AllocScope { start }
+    }
+
+    /// Live bytes when the scope began.
+    pub fn start_bytes(&self) -> usize {
+        self.start
+    }
+
+    /// Highest live-byte count observed since the scope began.
+    pub fn peak_bytes(&self) -> usize {
+        SCOPE_PEAK.load(Ordering::Relaxed).max(self.start)
+    }
+
+    /// Peak bytes *above* the scope's baseline — the extra memory the
+    /// measured region needed on top of what was already live.
+    pub fn peak_delta(&self) -> usize {
+        self.peak_bytes().saturating_sub(self.start)
+    }
+
+    /// Live bytes retained beyond the baseline at the time of the call —
+    /// what the measured region left behind (e.g. a built artifact).
+    pub fn retained_delta(&self) -> usize {
+        current_bytes().saturating_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The counters are process-global; serialize the tests that drive
+    /// the allocator directly so their deltas don't interleave.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_lock(f: impl FnOnce()) {
+        let _guard = LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        f();
+    }
+
+    /// Drive the `GlobalAlloc` impl directly (the test binary itself runs
+    /// on the default allocator, so the statics only move through these
+    /// explicit calls).
+    fn raw_alloc(size: usize) -> (*mut u8, Layout) {
+        let layout = Layout::from_size_align(size, 8).expect("valid layout");
+        let ptr = unsafe { CountingAlloc.alloc(layout) };
+        assert!(!ptr.is_null());
+        (ptr, layout)
+    }
+
+    #[test]
+    fn alloc_and_dealloc_move_current() {
+        with_lock(|| {
+            let before = current_bytes();
+            let (ptr, layout) = raw_alloc(4096);
+            assert_eq!(current_bytes(), before + 4096);
+            unsafe { CountingAlloc.dealloc(ptr, layout) };
+            assert_eq!(current_bytes(), before);
+        });
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        with_lock(|| {
+            let (ptr, layout) = raw_alloc(1 << 20);
+            let peak_while_live = peak_bytes();
+            assert!(peak_while_live >= current_bytes());
+            unsafe { CountingAlloc.dealloc(ptr, layout) };
+            // Freeing must not lower the recorded peak.
+            assert!(peak_bytes() >= peak_while_live);
+        });
+    }
+
+    #[test]
+    fn realloc_adjusts_by_difference() {
+        with_lock(|| {
+            let before = current_bytes();
+            let (ptr, layout) = raw_alloc(1000);
+            let grown = unsafe { CountingAlloc.realloc(ptr, layout, 3000) };
+            assert!(!grown.is_null());
+            assert_eq!(current_bytes(), before + 3000);
+            let new_layout = Layout::from_size_align(3000, 8).expect("valid layout");
+            unsafe { CountingAlloc.dealloc(grown, new_layout) };
+            assert_eq!(current_bytes(), before);
+        });
+    }
+
+    #[test]
+    fn alloc_zeroed_counts_and_zeroes() {
+        with_lock(|| {
+            let before = current_bytes();
+            let layout = Layout::from_size_align(512, 8).expect("valid layout");
+            let ptr = unsafe { CountingAlloc.alloc_zeroed(layout) };
+            assert!(!ptr.is_null());
+            assert_eq!(current_bytes(), before + 512);
+            let bytes = unsafe { std::slice::from_raw_parts(ptr, 512) };
+            assert!(bytes.iter().all(|&b| b == 0));
+            unsafe { CountingAlloc.dealloc(ptr, layout) };
+        });
+    }
+
+    #[test]
+    fn scope_reports_peak_delta_not_retained() {
+        with_lock(|| {
+            let scope = AllocScope::begin();
+            let (ptr, layout) = raw_alloc(1 << 16);
+            unsafe { CountingAlloc.dealloc(ptr, layout) };
+            // The 64 KiB was freed, but the scope peak remembers it.
+            assert!(scope.peak_delta() >= 1 << 16);
+            assert_eq!(scope.retained_delta(), 0);
+        });
+    }
+
+    #[test]
+    fn scope_retained_counts_live_bytes() {
+        with_lock(|| {
+            let scope = AllocScope::begin();
+            let (ptr, layout) = raw_alloc(2048);
+            assert!(scope.retained_delta() >= 2048);
+            assert!(scope.peak_bytes() >= scope.start_bytes() + 2048);
+            unsafe { CountingAlloc.dealloc(ptr, layout) };
+        });
+    }
+}

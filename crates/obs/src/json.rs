@@ -353,4 +353,15 @@ mod tests {
         );
         assert!(parse("\"\\ud800\"").is_err()); // lone surrogate
     }
+
+    /// A `\u` escape is exactly four hex digits. The guard checks each
+    /// byte with `is_ascii_hexdigit` before `from_str_radix`, so a
+    /// sign character can never ride in as part of the code point.
+    #[test]
+    fn parse_rejects_malformed_unicode_escapes() {
+        assert!(parse("\"\\u+0ff\"").is_err()); // signed "hex"
+        assert!(parse("\"\\u00g1\"").is_err()); // non-hex digit
+        assert!(parse("\"\\u00f\"").is_err()); // too short
+        assert!(parse("\"\\u\"").is_err()); // no digits at all
+    }
 }

@@ -38,6 +38,7 @@
 //! wikistale_obs::json::validate(&json).unwrap();
 //! ```
 
+pub mod alloc;
 pub mod json;
 pub mod parallel;
 

@@ -110,7 +110,12 @@ pub fn percent_decode(text: &str, plus_as_space: bool) -> String {
     while i < bytes.len() {
         match bytes[i] {
             b'%' => {
-                let hex = bytes.get(i + 1..i + 3);
+                // A valid escape is exactly two hex digits. Checking both
+                // bytes explicitly matters: `from_str_radix` accepts a
+                // leading sign, which would decode `%+f` as 0x0F.
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .filter(|h| h.iter().all(u8::is_ascii_hexdigit));
                 match hex.and_then(|h| u8::from_str_radix(&String::from_utf8_lossy(h), 16).ok()) {
                     Some(b) => {
                         out.push(b);
@@ -375,6 +380,19 @@ mod tests {
     }
 
     #[test]
+    fn percent_decoding_rejects_signed_escapes() {
+        // `u8::from_str_radix` accepts a leading sign, so `%+f` used to
+        // decode as 0x0F and `%-1`-style escapes as the wrong byte; a
+        // valid escape is exactly two hex digits, anything else stays
+        // literal.
+        assert_eq!(percent_decode("%+f", false), "%+f");
+        assert_eq!(percent_decode("%+f", true), "% f"); // + still form-decodes
+        assert_eq!(percent_decode("%-1", false), "%-1");
+        assert_eq!(percent_decode("%2", false), "%2"); // truncated escape
+        assert_eq!(percent_decode("%%41", false), "%A"); // literal %, then %41
+    }
+
+    #[test]
     fn responses_serialize_deterministically() {
         let resp = Response::json(200, "{}").with_header("X-Fingerprint", "abc");
         let mut a = Vec::new();
@@ -415,5 +433,48 @@ mod tests {
             parse_error_response(&ParseError::BodyTooLarge(9)).map(|r| r.status),
             Some(413)
         );
+    }
+
+    /// Encode → decode must round-trip any title, including multi-byte
+    /// UTF-8 and the reserved characters `%`, `+`, and `/`. The encoder
+    /// escapes everything but unreserved bytes, so both decode modes
+    /// (plus-as-space on and off) must recover the original.
+    #[test]
+    fn prop_percent_encode_decode_round_trips_titles() {
+        use proptest::prelude::*;
+
+        const POOL: &[char] = &[
+            'a',
+            'Z',
+            '0',
+            '9',
+            '%',
+            '+',
+            '/',
+            ' ',
+            '-',
+            '_',
+            '.',
+            '~',
+            '&',
+            '=',
+            '?',
+            '#',
+            '\u{e9}',
+            '\u{df}',
+            '\u{441}',
+            '\u{65e5}',
+            '\u{672c}',
+            '\u{1f600}',
+        ];
+        let title = proptest::collection::vec(0usize..POOL.len(), 0..24)
+            .prop_map(|ix| ix.into_iter().map(|i| POOL[i]).collect::<String>());
+        for case in 0..256 {
+            let mut rng = TestRng::for_case("percent_round_trip", case);
+            let t = title.generate(&mut rng);
+            let encoded = crate::loadgen::encode_segment(&t);
+            assert_eq!(percent_decode(&encoded, false), t, "path mode: {t:?}");
+            assert_eq!(percent_decode(&encoded, true), t, "query mode: {t:?}");
+        }
     }
 }

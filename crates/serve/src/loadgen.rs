@@ -123,7 +123,7 @@ impl Rng {
 }
 
 /// Percent-encode a path segment (everything but unreserved bytes).
-fn encode_segment(text: &str) -> String {
+pub(crate) fn encode_segment(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for b in text.bytes() {
         match b {

@@ -495,6 +495,9 @@ mod tests {
         assert_eq!(get(&app, "/v1/stale/No%20Such%20Page").status, 404);
         // Bad parameters are 400s.
         assert_eq!(get(&app, "/v1/stale/x?at=not-a-date").status, 400);
+        // Signed date components are a 400, not silently accepted
+        // (Date::from_str used to tolerate `+2019-+06-+01`).
+        assert_eq!(get(&app, "/v1/stale/x?at=%2B2019-%2B06-%2B01").status, 400);
         assert_eq!(get(&app, "/v1/stale/x?window=0").status, 400);
         assert_eq!(get(&app, "/v1/stale/x?window=9999").status, 400);
     }

@@ -455,7 +455,7 @@ mod tests {
         let config = SynthConfig::tiny();
         let a = generate(&config);
         let b = generate(&config);
-        assert_eq!(a.cube.changes(), b.cube.changes());
+        assert_eq!(a.cube.changes_vec(), b.cube.changes_vec());
         assert_eq!(a.ground_truth.forgotten(), b.ground_truth.forgotten());
         assert!(a.cube.num_changes() > 1_000, "{}", a.cube.num_changes());
         assert_eq!(a.cube.num_entities(), config.num_entities);
@@ -468,7 +468,7 @@ mod tests {
         let a = generate(&config);
         config.seed += 1;
         let b = generate(&config);
-        assert_ne!(a.cube.changes(), b.cube.changes());
+        assert_ne!(a.cube.changes_vec(), b.cube.changes_vec());
     }
 
     #[test]

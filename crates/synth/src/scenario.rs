@@ -173,7 +173,7 @@ mod tests {
         let corpus = s.finish();
         assert_eq!(corpus.cube.num_changes(), 8 * 2 + 5);
         // Values increment independently per field.
-        let c0 = corpus.cube.changes()[0];
+        let c0 = corpus.cube.change_at(0);
         assert_eq!(corpus.cube.value_text(c0.value), "v1");
     }
 
@@ -202,7 +202,7 @@ mod tests {
         let cube = &corpus.cube;
         let count = |name: &str| {
             let p = cube.property_id(name).unwrap();
-            cube.changes().iter().filter(|c| c.property == p).count()
+            cube.iter_changes().filter(|c| c.property == p).count()
         };
         assert_eq!(count("wins"), 10);
         assert_eq!(count("ko"), 5);
@@ -216,7 +216,7 @@ mod tests {
         s.update(e, "p", d(10));
         s.delete(e, "p", d(20));
         let corpus = s.finish();
-        let kinds: Vec<ChangeKind> = corpus.cube.changes().iter().map(|c| c.kind).collect();
+        let kinds: Vec<ChangeKind> = corpus.cube.iter_changes().map(|c| c.kind).collect();
         assert_eq!(
             kinds,
             vec![ChangeKind::Create, ChangeKind::Update, ChangeKind::Delete]

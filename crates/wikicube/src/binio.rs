@@ -1,11 +1,11 @@
 //! Versioned binary persistence for change cubes.
 //!
-//! Version 2 (the current writer) frames every section with a length and
+//! Version 3 (the current writer) frames every section with a length and
 //! a CRC-32 so corruption is detected before any data is trusted:
 //!
 //! ```text
 //! magic     8 bytes  "WCUBE\0\0\0"
-//! version   u32      2
+//! version   u32      3
 //! section ×7         entities, properties, templates, pages, values,
 //!                    entity_meta, changes — in this order, each:
 //!   len     u64      payload byte length
@@ -16,13 +16,18 @@
 //!
 //! Interner payloads are `u32 count`, then `u32 byte length + UTF-8
 //! bytes` per string; `entity_meta` is `u32 count`, then
-//! `{ template u32, page u32 }` per entity; `changes` is `u64 count`,
-//! then `{ day i32, entity u32, property u32, value u32, kind u8,
-//! flags u8 }` per change. All integers are little-endian.
+//! `{ template u32, page u32 }` per entity. The v3 `changes` payload
+//! mirrors the in-memory columnar layout ([`crate::ChangeColumns`]):
+//! `u64 count`, then six contiguous column arrays — `day i32 × count`,
+//! `entity u32 × count`, `property u32 × count`, `value u32 × count`,
+//! `kind u8 × count`, `flags u8 × count`. All integers are
+//! little-endian.
 //!
-//! Version 1 (no checksums, no section framing) is still read
-//! transparently; [`encode_v1`] keeps a writer around for compatibility
-//! tests and downgrade tooling.
+//! Version 2 framed identically but stored changes row-wise (`{ day i32,
+//! entity u32, property u32, value u32, kind u8, flags u8 }` per
+//! change); version 1 had no checksums and no section framing. Both are
+//! still read transparently, and [`encode_v2`] / [`encode_v1`] keep
+//! writers around for compatibility tests and downgrade tooling.
 //!
 //! Reading validates magic, version, checksums, string UTF-8, id
 //! referential integrity and (via the cube constructor) restores
@@ -50,7 +55,7 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"WCUBE\0\0\0";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// Section names in file order; used for framing and error reporting.
 const SECTIONS: [&str; 7] = [
@@ -63,13 +68,41 @@ const SECTIONS: [&str; 7] = [
     "changes",
 ];
 
-/// Serialize `cube` into a byte buffer (format version 2).
+/// Serialize `cube` into a byte buffer (format version 3, columnar
+/// changes section).
 pub fn encode(cube: &ChangeCube) -> Vec<u8> {
-    let payloads = section_payloads(cube);
+    encode_framed(cube, VERSION)
+}
+
+/// Serialize `cube` in the version-2 layout (framed, row-wise changes).
+///
+/// Kept so compatibility tests can prove v2 files still load and so
+/// tooling can produce files for older readers.
+pub fn encode_v2(cube: &ChangeCube) -> Vec<u8> {
+    encode_framed(cube, 2)
+}
+
+/// Serialize `cube` in the legacy, checksum-free version-1 layout.
+///
+/// Kept so compatibility tests can prove v1 files still load and so
+/// tooling can produce files for older readers.
+pub fn encode_v1(cube: &ChangeCube) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + cube.num_changes() * 18);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&1u32.to_le_bytes());
+    for payload in section_payloads(cube, 1) {
+        buf.extend_from_slice(&payload);
+    }
+    buf
+}
+
+/// Shared writer for the framed (v2/v3) layouts.
+fn encode_framed(cube: &ChangeCube, version: u32) -> Vec<u8> {
+    let payloads = section_payloads(cube, version);
     debug_assert_eq!(payloads.len(), SECTIONS.len());
     let mut buf = Vec::with_capacity(128 + cube.num_changes() * 18);
     buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&version.to_le_bytes());
     for payload in &payloads {
         buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         buf.extend_from_slice(payload);
@@ -81,22 +114,8 @@ pub fn encode(cube: &ChangeCube) -> Vec<u8> {
     buf
 }
 
-/// Serialize `cube` in the legacy, checksum-free version-1 layout.
-///
-/// Kept so compatibility tests can prove v1 files still load and so
-/// tooling can produce files for older readers.
-pub fn encode_v1(cube: &ChangeCube) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(64 + cube.num_changes() * 18);
-    buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&1u32.to_le_bytes());
-    for payload in section_payloads(cube) {
-        buf.extend_from_slice(&payload);
-    }
-    buf
-}
-
-/// The seven section payloads in file order.
-fn section_payloads(cube: &ChangeCube) -> Vec<Vec<u8>> {
+/// The seven section payloads in file order for `version`.
+fn section_payloads(cube: &ChangeCube, version: u32) -> Vec<Vec<u8>> {
     let mut payloads = Vec::with_capacity(SECTIONS.len());
     for interner in [
         cube.entities(),
@@ -118,20 +137,44 @@ fn section_payloads(cube: &ChangeCube) -> Vec<Vec<u8>> {
     payloads.push(meta);
     let mut changes = Vec::with_capacity(8 + cube.num_changes() * 18);
     changes.extend_from_slice(&(cube.num_changes() as u64).to_le_bytes());
-    for c in cube.changes() {
-        changes.extend_from_slice(&c.day.day_number().to_le_bytes());
-        changes.extend_from_slice(&c.entity.0.to_le_bytes());
-        changes.extend_from_slice(&c.property.0.to_le_bytes());
-        changes.extend_from_slice(&c.value.0.to_le_bytes());
-        changes.push(c.kind as u8);
-        changes.push(c.flags.bits());
+    if version >= 3 {
+        // Columnar: six contiguous arrays straight from the cube's
+        // struct-of-arrays change table.
+        let cols = cube.columns();
+        for &d in cols.days() {
+            changes.extend_from_slice(&d.day_number().to_le_bytes());
+        }
+        for &e in cols.entities() {
+            changes.extend_from_slice(&e.0.to_le_bytes());
+        }
+        for &p in cols.properties() {
+            changes.extend_from_slice(&p.0.to_le_bytes());
+        }
+        for &v in cols.values() {
+            changes.extend_from_slice(&v.0.to_le_bytes());
+        }
+        for &k in cols.kinds() {
+            changes.push(k as u8);
+        }
+        for &f in cols.flags() {
+            changes.push(f.bits());
+        }
+    } else {
+        for c in cube.iter_changes() {
+            changes.extend_from_slice(&c.day.day_number().to_le_bytes());
+            changes.extend_from_slice(&c.entity.0.to_le_bytes());
+            changes.extend_from_slice(&c.property.0.to_le_bytes());
+            changes.extend_from_slice(&c.value.0.to_le_bytes());
+            changes.push(c.kind as u8);
+            changes.push(c.flags.bits());
+        }
     }
     payloads.push(changes);
     payloads
 }
 
-/// Deserialize a cube from bytes produced by [`encode`] (v2) or
-/// [`encode_v1`].
+/// Deserialize a cube from bytes produced by [`encode`] (v3),
+/// [`encode_v2`], or [`encode_v1`].
 pub fn decode(mut data: &[u8]) -> Result<ChangeCube, CubeError> {
     let buf = &mut data;
     let magic = take_bytes_in(buf, 8, "magic")?;
@@ -141,14 +184,16 @@ pub fn decode(mut data: &[u8]) -> Result<ChangeCube, CubeError> {
     let version = take_u32_in(buf, "magic")?;
     match version {
         1 => decode_v1(buf),
-        2 => decode_v2(data),
+        2 | 3 => decode_framed(data, version),
         other => Err(CubeError::UnsupportedVersion(other)),
     }
 }
 
-/// Decode the checksummed v2 body (`data` starts after magic + version,
-/// but the file checksum covers them, so they are re-derived here).
-fn decode_v2(body: &[u8]) -> Result<ChangeCube, CubeError> {
+/// Decode a checksummed v2/v3 body (`data` starts after magic + version,
+/// but the file checksum covers them, so they are re-derived here). The
+/// two versions differ only in the changes-section encoding: row-wise
+/// records in v2, contiguous columns in v3.
+fn decode_framed(body: &[u8], version: u32) -> Result<ChangeCube, CubeError> {
     // Pass 1 — frame walk. Establishes where every section lies and
     // reports truncation precisely (which section, how many bytes were
     // needed vs. present) before any checksum or content is examined.
@@ -178,7 +223,7 @@ fn decode_v2(body: &[u8]) -> Result<ChangeCube, CubeError> {
     let stored = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
     let mut hasher = Crc32::new();
     hasher.update(MAGIC);
-    hasher.update(&VERSION.to_le_bytes());
+    hasher.update(&version.to_le_bytes());
     hasher.update(&body[..body.len() - 4]);
     let computed = hasher.finalize();
     if stored != computed {
@@ -206,7 +251,11 @@ fn decode_v2(body: &[u8]) -> Result<ChangeCube, CubeError> {
     let pages = parse_interner_section(frames[3].0, "pages")?;
     let values = parse_interner_section(frames[4].0, "values")?;
     let entity_meta = parse_entity_meta_section(frames[5].0)?;
-    let changes = parse_changes_section(frames[6].0)?;
+    let changes = if version >= 3 {
+        parse_columnar_changes_section(frames[6].0)?
+    } else {
+        parse_changes_section(frames[6].0)?
+    };
     ChangeCube::from_parts(
         entities,
         properties,
@@ -294,6 +343,70 @@ fn parse_entity_meta_section(mut payload: &[u8]) -> Result<Vec<EntityMeta>, Cube
 fn parse_changes_section(mut payload: &[u8]) -> Result<Vec<Change>, CubeError> {
     let changes = take_changes(&mut payload)?;
     expect_consumed(payload, "changes")?;
+    Ok(changes)
+}
+
+/// Parse the v3 columnar changes payload: `u64 count`, then six column
+/// arrays (day i32, entity u32, property u32, value u32, kind u8,
+/// flags u8), each `count` elements long.
+fn parse_columnar_changes_section(mut payload: &[u8]) -> Result<Vec<Change>, CubeError> {
+    const SECTION: &str = "changes";
+    let buf = &mut payload;
+    let n_changes = take_u64_in(buf, SECTION)?;
+    // Compare in u128: a corrupt u64 count can exceed usize on 32-bit.
+    if (n_changes as u128) * 18 > buf.len() as u128 {
+        return Err(CubeError::Truncated {
+            section: SECTION,
+            need: ((n_changes as u128) * 18).min(usize::MAX as u128) as usize,
+            got: buf.len(),
+        });
+    }
+    let n = n_changes as usize;
+    let days = take_bytes_in(buf, n * 4, SECTION)?;
+    let entities = take_bytes_in(buf, n * 4, SECTION)?;
+    let properties = take_bytes_in(buf, n * 4, SECTION)?;
+    let values = take_bytes_in(buf, n * 4, SECTION)?;
+    let kinds = take_bytes_in(buf, n, SECTION)?;
+    let flags = take_bytes_in(buf, n, SECTION)?;
+    expect_consumed(buf, SECTION)?;
+    let mut changes = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = i * 4;
+        let day = Date::from_day_number(i32::from_le_bytes([
+            days[at],
+            days[at + 1],
+            days[at + 2],
+            days[at + 3],
+        ]));
+        let entity = EntityId(u32::from_le_bytes([
+            entities[at],
+            entities[at + 1],
+            entities[at + 2],
+            entities[at + 3],
+        ]));
+        let property = PropertyId(u32::from_le_bytes([
+            properties[at],
+            properties[at + 1],
+            properties[at + 2],
+            properties[at + 3],
+        ]));
+        let value = ValueId(u32::from_le_bytes([
+            values[at],
+            values[at + 1],
+            values[at + 2],
+            values[at + 3],
+        ]));
+        let kind = ChangeKind::from_u8(kinds[i])
+            .ok_or_else(|| CubeError::Corrupt(format!("unknown change kind {}", kinds[i])))?;
+        changes.push(Change {
+            day,
+            entity,
+            property,
+            value,
+            kind,
+            flags: ChangeFlags::from_bits(flags[i]),
+        });
+    }
     Ok(changes)
 }
 
@@ -507,12 +620,12 @@ mod tests {
         let cube = sample_cube();
         let bytes = encode(&cube);
         let back = decode(&bytes).unwrap();
-        assert_eq!(back.changes(), cube.changes());
+        assert_eq!(back.changes_vec(), cube.changes_vec());
         assert_eq!(back.num_entities(), cube.num_entities());
         assert_eq!(back.entity_name(EntityId(0)), "Ali");
         assert_eq!(back.template_name(TemplateId(0)), "infobox boxer");
         assert_eq!(back.value_text(ValueId(0)), "56");
-        assert!(back.changes()[1].flags.is_bot_reverted());
+        assert!(back.change_at(1).flags.is_bot_reverted());
         // Deterministic: re-encoding is byte-identical.
         assert_eq!(encode(&back), bytes);
     }
@@ -531,11 +644,52 @@ mod tests {
         let v1 = encode_v1(&cube);
         assert_eq!(&v1[8..12], &1u32.to_le_bytes());
         let back = decode(&v1).unwrap();
-        assert_eq!(back.changes(), cube.changes());
+        assert_eq!(back.changes_vec(), cube.changes_vec());
         assert_eq!(back.entity_name(EntityId(0)), "Ali");
-        // Upgrading: re-encoding a v1-loaded cube produces the same v2
+        // Upgrading: re-encoding a v1-loaded cube produces the same v3
         // bytes as encoding the original.
         assert_eq!(encode(&back), encode(&cube));
+    }
+
+    #[test]
+    fn v2_files_still_load() {
+        let cube = sample_cube();
+        let v2 = encode_v2(&cube);
+        assert_eq!(&v2[8..12], &2u32.to_le_bytes());
+        let back = decode(&v2).unwrap();
+        assert_eq!(back.changes_vec(), cube.changes_vec());
+        assert_eq!(back.entity_name(EntityId(0)), "Ali");
+        assert!(back.change_at(1).flags.is_bot_reverted());
+        // Upgrading: re-encoding a v2-loaded cube produces the same v3
+        // bytes as encoding the original.
+        assert_eq!(encode(&back), encode(&cube));
+        // v2 and v3 carry the same payload bytes in different shapes,
+        // so the encodings differ but have identical length.
+        let v3 = encode(&cube);
+        assert_ne!(v2, v3);
+        assert_eq!(v2.len(), v3.len());
+    }
+
+    #[test]
+    fn v2_empty_cube_round_trips() {
+        let cube = ChangeCubeBuilder::new().finish();
+        let back = decode(&encode_v2(&cube)).unwrap();
+        assert_eq!(back.num_changes(), 0);
+    }
+
+    #[test]
+    fn v2_bit_flips_are_detected() {
+        let bytes = encode_v2(&sample_cube());
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    decode(&flipped).is_err(),
+                    "v2 bit flip at {byte}:{bit} went undetected"
+                );
+            }
+        }
     }
 
     #[test]
@@ -648,7 +802,7 @@ mod tests {
         let path = dir.join("cube.wcube");
         write_to_path(&cube, &path).unwrap();
         let back = read_from_path(&path).unwrap();
-        assert_eq!(back.changes(), cube.changes());
+        assert_eq!(back.changes_vec(), cube.changes_vec());
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -717,19 +871,21 @@ mod tests {
             }
             let cube = b.finish();
             let back = decode(&encode(&cube)).unwrap();
-            prop_assert_eq!(back.changes(), cube.changes());
+            prop_assert_eq!(back.changes_vec(), cube.changes_vec());
             prop_assert_eq!(encode(&back), encode(&cube));
-            // v1 compatibility: the legacy encoding of the same cube
-            // decodes to the same changes.
+            // v1/v2 compatibility: the legacy encodings of the same cube
+            // decode to the same changes.
             let v1_back = decode(&encode_v1(&cube)).unwrap();
-            prop_assert_eq!(v1_back.changes(), cube.changes());
+            prop_assert_eq!(v1_back.changes_vec(), cube.changes_vec());
+            let v2_back = decode(&encode_v2(&cube)).unwrap();
+            prop_assert_eq!(v2_back.changes_vec(), cube.changes_vec());
         }
 
         // The corrupt-bytes mirror of `xml::prop_never_panics`: random
-        // byte mutations of a valid v2 encoding must return `Err`
+        // byte mutations of a valid framed encoding must return `Err`
         // (guaranteed by the file checksum), never panic.
         #[test]
-        fn prop_corrupt_v2_bytes_always_err(
+        fn prop_corrupt_framed_bytes_always_err(
             seed_days in proptest::collection::vec(0i32..365, 1..10),
             offset_frac in 0.0f64..1.0,
             new_byte in 0u8..=255,

@@ -2,9 +2,12 @@
 
 use crate::change::{Change, ChangeFlags, ChangeKind};
 use crate::date::{Date, DateRange};
+use crate::daylist::DayListStore;
 use crate::error::CubeError;
 use crate::ids::{EntityId, PageId, PropertyId, TemplateId, ValueId};
 use crate::intern::Interner;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
 
 /// Per-entity metadata: every infobox belongs to exactly one template and
 /// lives on exactly one page (paper §3.1).
@@ -16,15 +19,168 @@ pub struct EntityMeta {
     pub page: PageId,
 }
 
+/// Struct-of-arrays change table: one column per [`Change`] component,
+/// all the same length, in canonical `(day, entity, property)` order.
+///
+/// Columnar storage keeps each scan's working set to the columns it
+/// actually reads (a day-range probe touches only the 4-byte day column
+/// instead of dragging 20-byte rows through cache) and drops the 2 bytes
+/// of padding per change the row layout paid for alignment.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeColumns {
+    days: Vec<Date>,
+    entities: Vec<EntityId>,
+    properties: Vec<PropertyId>,
+    values: Vec<ValueId>,
+    kinds: Vec<ChangeKind>,
+    flags: Vec<ChangeFlags>,
+}
+
+impl ChangeColumns {
+    /// Split a row table into columns. The rows must already be in
+    /// canonical order.
+    fn from_rows(rows: &[Change]) -> ChangeColumns {
+        let mut cols = ChangeColumns {
+            days: Vec::with_capacity(rows.len()),
+            entities: Vec::with_capacity(rows.len()),
+            properties: Vec::with_capacity(rows.len()),
+            values: Vec::with_capacity(rows.len()),
+            kinds: Vec::with_capacity(rows.len()),
+            flags: Vec::with_capacity(rows.len()),
+        };
+        for c in rows {
+            cols.push(*c);
+        }
+        cols
+    }
+
+    fn push(&mut self, c: Change) {
+        self.days.push(c.day);
+        self.entities.push(c.entity);
+        self.properties.push(c.property);
+        self.values.push(c.value);
+        self.kinds.push(c.kind);
+        self.flags.push(c.flags);
+    }
+
+    /// Give back the growth slack of incrementally built columns. Cubes
+    /// are immutable once constructed, so there is nothing to grow into.
+    fn shrink_to_fit(&mut self) {
+        self.days.shrink_to_fit();
+        self.entities.shrink_to_fit();
+        self.properties.shrink_to_fit();
+        self.values.shrink_to_fit();
+        self.kinds.shrink_to_fit();
+        self.flags.shrink_to_fit();
+    }
+
+    /// Number of changes.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// The day column.
+    pub fn days(&self) -> &[Date] {
+        &self.days
+    }
+
+    /// The entity column.
+    pub fn entities(&self) -> &[EntityId] {
+        &self.entities
+    }
+
+    /// The property column.
+    pub fn properties(&self) -> &[PropertyId] {
+        &self.properties
+    }
+
+    /// The value column.
+    pub fn values(&self) -> &[ValueId] {
+        &self.values
+    }
+
+    /// The change-kind column.
+    pub fn kinds(&self) -> &[ChangeKind] {
+        &self.kinds
+    }
+
+    /// The flag column.
+    pub fn flags(&self) -> &[ChangeFlags] {
+        &self.flags
+    }
+
+    /// Materialize the change at row `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Change {
+        Change {
+            day: self.days[i],
+            entity: self.entities[i],
+            property: self.properties[i],
+            value: self.values[i],
+            kind: self.kinds[i],
+            flags: self.flags[i],
+        }
+    }
+
+    /// Heap bytes held by the six column vectors (18 per change; the row
+    /// layout's `Vec<Change>` pays `size_of::<Change>()` = 20).
+    pub fn heap_bytes(&self) -> usize {
+        self.days.capacity() * std::mem::size_of::<Date>()
+            + self.entities.capacity() * std::mem::size_of::<EntityId>()
+            + self.properties.capacity() * std::mem::size_of::<PropertyId>()
+            + self.values.capacity() * std::mem::size_of::<ValueId>()
+            + self.kinds.capacity()
+            + self.flags.capacity()
+    }
+}
+
+/// Double-ended, exact-size iterator materializing [`Change`]s on demand
+/// from a [`ChangeColumns`] row range.
+#[derive(Debug, Clone)]
+pub struct Changes<'a> {
+    cols: &'a ChangeColumns,
+    range: Range<usize>,
+}
+
+impl Iterator for Changes<'_> {
+    type Item = Change;
+
+    #[inline]
+    fn next(&mut self) -> Option<Change> {
+        self.range.next().map(|i| self.cols.get(i))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl DoubleEndedIterator for Changes<'_> {
+    fn next_back(&mut self) -> Option<Change> {
+        self.range.next_back().map(|i| self.cols.get(i))
+    }
+}
+
+impl ExactSizeIterator for Changes<'_> {}
+impl std::iter::FusedIterator for Changes<'_> {}
+
 /// An immutable, canonically-ordered collection of infobox changes together
 /// with the dimension tables (interners) its ids refer to.
 ///
-/// The change table is sorted by `(day, entity, property)` and holds at
-/// most one change per key: when several same-day changes hit one
-/// (entity, property) slot, the last value written wins (matching how an
-/// infobox read at end of day sees only the final revision). Sorting makes
-/// time-range scans a binary search plus a linear walk and lets the filter
-/// pipeline stream in one pass.
+/// The change table is columnar (see [`ChangeColumns`]), sorted by
+/// `(day, entity, property)` and holds at most one change per key: when
+/// several same-day changes hit one (entity, property) slot, the last
+/// value written wins (matching how an infobox read at end of day sees
+/// only the final revision). Sorting makes time-range scans a binary
+/// search plus a linear walk and lets the filter pipeline stream in one
+/// pass. The cube also owns the canonical per-field day lists
+/// ([`ChangeCube::day_lists`]), built lazily once and shared by the
+/// index, the correlation search and the Apriori transaction builder.
 #[derive(Debug, Clone, Default)]
 pub struct ChangeCube {
     entities: Interner,
@@ -33,7 +189,8 @@ pub struct ChangeCube {
     pages: Interner,
     values: Interner,
     entity_meta: Vec<EntityMeta>,
-    changes: Vec<Change>,
+    columns: ChangeColumns,
+    day_store: OnceLock<Arc<DayListStore>>,
 }
 
 impl ChangeCube {
@@ -105,18 +262,39 @@ impl ChangeCube {
             pages,
             values,
             entity_meta,
-            changes,
+            columns: ChangeColumns::from_rows(&changes),
+            day_store: OnceLock::new(),
         })
     }
 
-    /// All changes in canonical `(day, entity, property)` order.
-    pub fn changes(&self) -> &[Change] {
-        &self.changes
+    /// The columnar change table, in canonical order.
+    pub fn columns(&self) -> &ChangeColumns {
+        &self.columns
+    }
+
+    /// Iterate all changes in canonical `(day, entity, property)` order,
+    /// materializing each [`Change`] from the columns on demand.
+    pub fn iter_changes(&self) -> Changes<'_> {
+        Changes {
+            cols: &self.columns,
+            range: 0..self.columns.len(),
+        }
+    }
+
+    /// Materialize the change at row `i` of the canonical order.
+    pub fn change_at(&self, i: usize) -> Change {
+        self.columns.get(i)
+    }
+
+    /// Collect all changes into a row vector (test and interop helper;
+    /// hot paths should iterate or use the columns directly).
+    pub fn changes_vec(&self) -> Vec<Change> {
+        self.iter_changes().collect()
     }
 
     /// Number of changes.
     pub fn num_changes(&self) -> usize {
-        self.changes.len()
+        self.columns.len()
     }
 
     /// Number of distinct entities (infoboxes).
@@ -232,18 +410,55 @@ impl ChangeCube {
     /// Half-open day range `[first change day, last change day + 1)`, or
     /// `None` for an empty cube.
     pub fn time_span(&self) -> Option<DateRange> {
-        let first = self.changes.first()?.day;
-        let last = self.changes.last().expect("non-empty").day;
-        Some(DateRange::new(first, last.plus_days(1)))
+        match (self.columns.days.first(), self.columns.days.last()) {
+            (Some(&first), Some(&last)) => Some(DateRange::new(first, last.plus_days(1))),
+            _ => None,
+        }
     }
 
-    /// The contiguous slice of changes whose day lies in `range`.
+    /// Row range of the changes whose day lies in `range`.
     ///
-    /// O(log n) thanks to the canonical time-major ordering.
-    pub fn changes_in(&self, range: DateRange) -> &[Change] {
-        let lo = self.changes.partition_point(|c| c.day < range.start());
-        let hi = self.changes.partition_point(|c| c.day < range.end());
-        &self.changes[lo..hi]
+    /// O(log n) thanks to the canonical time-major ordering; only the
+    /// 4-byte day column is probed.
+    pub fn change_range(&self, range: DateRange) -> Range<usize> {
+        let days = &self.columns.days;
+        let lo = days.partition_point(|&d| d < range.start());
+        let hi = days.partition_point(|&d| d < range.end());
+        lo..hi
+    }
+
+    /// Iterate the changes whose day lies in `range`, in canonical order.
+    pub fn changes_in(&self, range: DateRange) -> Changes<'_> {
+        Changes {
+            cols: &self.columns,
+            range: self.change_range(range),
+        }
+    }
+
+    /// The canonical per-field day lists: for every `(entity, property)`
+    /// field, its strictly-increasing change days across **all** change
+    /// kinds, delta-encoded (see [`DayListStore`]). Built lazily on first
+    /// use and shared by `Arc` — the index, the Apriori transaction
+    /// builder and the statistics all read this one copy instead of
+    /// re-deriving day lists from the change table.
+    pub fn day_lists(&self) -> &Arc<DayListStore> {
+        self.day_store.get_or_init(|| {
+            Arc::new(DayListStore::from_field_days(
+                crate::daylist::collect_field_days(self, None),
+            ))
+        })
+    }
+
+    /// Heap bytes of the columnar change table.
+    pub fn change_table_bytes(&self) -> usize {
+        self.columns.heap_bytes()
+    }
+
+    /// Heap bytes the change table would occupy in the row layout this
+    /// cube replaced (`Vec<Change>`, 20 bytes per change) — the baseline
+    /// the pipeline benchmark compares against.
+    pub fn row_layout_baseline_bytes(&self) -> usize {
+        self.num_changes() * std::mem::size_of::<Change>()
     }
 
     /// A new cube over the same dimension tables keeping only changes for
@@ -251,10 +466,22 @@ impl ChangeCube {
     /// pipeline is built on; dimension tables are shared unchanged so ids
     /// remain stable across filtering.
     pub fn retain_changes(&self, mut keep: impl FnMut(&Change) -> bool) -> ChangeCube {
-        let changes = self.changes.iter().copied().filter(|c| keep(c)).collect();
+        let mut columns = ChangeColumns::default();
+        for c in self.iter_changes() {
+            if keep(&c) {
+                columns.push(c);
+            }
+        }
+        columns.shrink_to_fit();
         ChangeCube {
-            changes,
-            ..self.clone()
+            entities: self.entities.clone(),
+            properties: self.properties.clone(),
+            templates: self.templates.clone(),
+            pages: self.pages.clone(),
+            values: self.values.clone(),
+            entity_meta: self.entity_meta.clone(),
+            columns,
+            day_store: OnceLock::new(),
         }
     }
 
@@ -403,7 +630,7 @@ impl ChangeCubeBuilder {
             self.entity_meta,
             self.changes,
         )
-        .expect("builder maintains referential integrity")
+        .unwrap_or_else(|e| panic!("builder maintains referential integrity: {e}"))
     }
 }
 
@@ -456,6 +683,7 @@ fn stable_sort_changes(mut changes: Vec<Change>) -> Vec<Change> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::FieldId;
 
     fn day(n: i32) -> Date {
         Date::EPOCH + n
@@ -479,11 +707,67 @@ mod tests {
     fn builder_produces_sorted_cube() {
         let cube = small_cube();
         assert_eq!(cube.num_changes(), 4);
-        let keys: Vec<_> = cube.changes().iter().map(|c| c.sort_key()).collect();
+        let keys: Vec<_> = cube.iter_changes().map(|c| c.sort_key()).collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
-        assert_eq!(cube.changes()[0].day, day(5));
+        assert_eq!(cube.change_at(0).day, day(5));
+    }
+
+    #[test]
+    fn columns_match_materialized_rows() {
+        let cube = small_cube();
+        let cols = cube.columns();
+        assert_eq!(cols.len(), cube.num_changes());
+        assert!(!cols.is_empty());
+        for (i, c) in cube.iter_changes().enumerate() {
+            assert_eq!(cols.days()[i], c.day);
+            assert_eq!(cols.entities()[i], c.entity);
+            assert_eq!(cols.properties()[i], c.property);
+            assert_eq!(cols.values()[i], c.value);
+            assert_eq!(cols.kinds()[i], c.kind);
+            assert_eq!(cols.flags()[i], c.flags);
+            assert_eq!(cols.get(i), c);
+        }
+    }
+
+    #[test]
+    fn iterator_is_double_ended_and_exact_size() {
+        let cube = small_cube();
+        let mut it = cube.iter_changes();
+        assert_eq!(it.len(), 4);
+        let first = it.next().unwrap();
+        let last = it.next_back().unwrap();
+        assert_eq!(it.len(), 2);
+        assert_eq!(first, cube.change_at(0));
+        assert_eq!(last, cube.change_at(3));
+        let rev: Vec<Change> = cube.iter_changes().rev().collect();
+        let mut fwd = cube.changes_vec();
+        fwd.reverse();
+        assert_eq!(rev, fwd);
+    }
+
+    #[test]
+    fn columnar_table_is_smaller_than_row_layout() {
+        let cube = small_cube();
+        // 18 bytes/change in columns vs 20 in Vec<Change>.
+        assert!(cube.change_table_bytes() < cube.row_layout_baseline_bytes());
+    }
+
+    #[test]
+    fn day_lists_cover_all_kinds_once_per_day() {
+        let mut b = ChangeCubeBuilder::new();
+        let e = b.entity("Ali", "infobox boxer", "Muhammad Ali");
+        let p = b.property("wins");
+        b.change(day(1), e, p, "1", ChangeKind::Create);
+        b.change(day(2), e, p, "2", ChangeKind::Update);
+        b.change(day(4), e, p, "", ChangeKind::Delete);
+        let cube = b.finish();
+        let store = cube.day_lists();
+        let list = store.get(FieldId::new(e, p)).unwrap();
+        assert_eq!(list.to_vec(), vec![day(1), day(2), day(4)]);
+        // Shared: a second call returns the same Arc allocation.
+        assert!(Arc::ptr_eq(cube.day_lists(), store));
     }
 
     #[test]
@@ -509,12 +793,7 @@ mod tests {
     #[test]
     fn values_are_interned_and_resolvable() {
         let cube = small_cube();
-        let c = cube
-            .changes()
-            .iter()
-            .find(|c| c.day == day(20))
-            .copied()
-            .unwrap();
+        let c = cube.iter_changes().find(|c| c.day == day(20)).unwrap();
         assert_eq!(cube.value_text(c.value), "9,000,000");
         assert_eq!(cube.num_values(), 4);
     }
@@ -528,6 +807,7 @@ mod tests {
         assert_eq!(cube.changes_in(DateRange::new(day(5), day(11))).len(), 3);
         assert_eq!(cube.changes_in(DateRange::new(day(6), day(10))).len(), 0);
         assert_eq!(cube.changes_in(DateRange::new(day(0), day(100))).len(), 4);
+        assert_eq!(cube.change_range(DateRange::new(day(5), day(11))), 0..3);
         let empty = ChangeCubeBuilder::new().finish();
         assert!(empty.time_span().is_none());
     }
@@ -544,10 +824,10 @@ mod tests {
     #[test]
     fn with_changes_re_sorts() {
         let cube = small_cube();
-        let mut reversed: Vec<Change> = cube.changes().to_vec();
+        let mut reversed: Vec<Change> = cube.changes_vec();
         reversed.reverse();
         let rebuilt = cube.with_changes(reversed).unwrap();
-        assert_eq!(rebuilt.changes(), cube.changes());
+        assert_eq!(rebuilt.changes_vec(), cube.changes_vec());
     }
 
     #[test]
@@ -560,9 +840,9 @@ mod tests {
         b.change(day(11), e, p, "57", ChangeKind::Update);
         let cube = b.finish();
         assert_eq!(cube.num_changes(), 2);
-        assert_eq!(cube.value_text(cube.changes()[0].value), "56");
-        assert_eq!(cube.changes()[0].kind, ChangeKind::Update);
-        assert_eq!(cube.value_text(cube.changes()[1].value), "57");
+        assert_eq!(cube.value_text(cube.change_at(0).value), "56");
+        assert_eq!(cube.change_at(0).kind, ChangeKind::Update);
+        assert_eq!(cube.value_text(cube.change_at(1).value), "57");
     }
 
     #[test]
@@ -571,7 +851,7 @@ mod tests {
         // the stable sort must preserve write order within the key so the
         // later write survives.
         let cube = small_cube();
-        let mut changes = cube.changes().to_vec();
+        let mut changes = cube.changes_vec();
         let mut dup = changes[2];
         dup.value = changes[3].value; // different value, same key as [2]
         changes.insert(3, dup);
@@ -581,11 +861,10 @@ mod tests {
         // Reversing flipped the write order of the duplicate pair, so the
         // original write (now last) wins.
         let survivor = rebuilt
-            .changes()
-            .iter()
-            .find(|c| c.sort_key() == cube.changes()[2].sort_key())
+            .iter_changes()
+            .find(|c| c.sort_key() == cube.change_at(2).sort_key())
             .unwrap();
-        assert_eq!(survivor.value, cube.changes()[2].value);
+        assert_eq!(survivor.value, cube.change_at(2).value);
     }
 
     #[test]
@@ -615,7 +894,7 @@ mod tests {
     #[test]
     fn from_parts_rejects_dangling_ids() {
         let cube = small_cube();
-        let mut bad = cube.changes().to_vec();
+        let mut bad = cube.changes_vec();
         bad[0].entity = EntityId(99);
         assert!(matches!(
             cube.with_changes(bad),

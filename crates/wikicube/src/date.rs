@@ -248,15 +248,27 @@ impl std::error::Error for ParseDateError {}
 impl FromStr for Date {
     type Err = ParseDateError;
 
-    /// Parse `YYYY-MM-DD`.
+    /// Parse `YYYY-MM-DD`, strictly: exactly four, two, and two ASCII
+    /// digits separated by `-`. Splitting on `-` and delegating to
+    /// integer `parse` is not enough — `parse` accepts a leading sign,
+    /// which would let `+2018-+09-+01` through.
     fn from_str(s: &str) -> Result<Date, ParseDateError> {
         let err = || ParseDateError {
             input: s.to_owned(),
         };
-        let mut parts = s.splitn(3, '-');
-        let y: i32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
-        let m: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
-        let d: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let b = s.as_bytes();
+        if b.len() != 10 || b[4] != b'-' || b[7] != b'-' {
+            return Err(err());
+        }
+        let digits = |r: std::ops::Range<usize>| -> Result<u32, ParseDateError> {
+            if !b[r.clone()].iter().all(u8::is_ascii_digit) {
+                return Err(err());
+            }
+            s[r].parse().map_err(|_| err())
+        };
+        let y = digits(0..4)? as i32;
+        let m = digits(5..7)?;
+        let d = digits(8..10)?;
         Date::from_ymd(y, m, d).ok_or_else(err)
     }
 }
@@ -434,6 +446,24 @@ mod tests {
         assert!("2018-13-01".parse::<Date>().is_err());
         assert!("hello".parse::<Date>().is_err());
         assert!("2018-09".parse::<Date>().is_err());
+    }
+
+    /// Signed or mis-shaped components must not parse: the previous
+    /// `splitn` + `parse` implementation accepted `+2018-+09-+01`.
+    #[test]
+    fn parse_rejects_signed_and_loose_components() {
+        assert!("+2018-+09-+01".parse::<Date>().is_err());
+        assert!("+2018-09-01".parse::<Date>().is_err());
+        assert!("2018-+9-01".parse::<Date>().is_err());
+        assert!("2018-9-1".parse::<Date>().is_err()); // must be zero-padded
+        assert!("02018-09-01".parse::<Date>().is_err());
+        assert!("2018-09-011".parse::<Date>().is_err());
+        assert!(" 2018-09-01".parse::<Date>().is_err());
+        assert!("2018-09-01 ".parse::<Date>().is_err());
+        assert_eq!(
+            "0001-01-01".parse::<Date>().unwrap(),
+            Date::from_ymd(1, 1, 1).unwrap()
+        );
     }
 
     #[test]

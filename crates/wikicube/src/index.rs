@@ -7,15 +7,20 @@
 //! * **page → fields** (the per-page correlation search of §3.2),
 //! * **template → entities / properties** (transaction building of §3.3).
 //!
-//! [`CubeIndex`] materializes all three in compressed-sparse-row layout.
-//! Fields get a dense index (`usize` position in [`CubeIndex::fields`]) so
-//! downstream code can use plain vectors keyed by field position.
+//! The field → days view is the shared delta-encoded [`DayListStore`]:
+//! when the index covers every change kind it borrows the cube's own
+//! canonical store by `Arc` instead of re-deriving it, and the
+//! kind-filtered view the predictors use is derived once here. Page and
+//! template views are materialized in compressed-sparse-row layout.
+//! Fields get a dense index (`usize` position in [`CubeIndex::fields`])
+//! so downstream code can use plain vectors keyed by field position.
 
 use crate::change::ChangeKind;
 use crate::cube::ChangeCube;
 use crate::date::Date;
-use crate::fxhash::FxHashMap;
+use crate::daylist::{store_for_kinds, DayList, DayListStore};
 use crate::ids::{EntityId, FieldId, PageId, PropertyId, TemplateId};
+use std::sync::Arc;
 
 /// CSR-layout index over a cube snapshot.
 ///
@@ -23,16 +28,10 @@ use crate::ids::{EntityId, FieldId, PageId, PropertyId, TemplateId};
 /// was built from and must be rebuilt after filtering.
 #[derive(Debug, Clone)]
 pub struct CubeIndex {
-    /// All distinct fields with at least one change, sorted by
-    /// `(entity, property)`.
-    fields: Vec<FieldId>,
-    /// Lookup from field id to its dense position in `fields`.
-    field_pos: FxHashMap<FieldId, u32>,
-    /// CSR offsets into `days`; `days[offsets[i]..offsets[i+1]]` are the
-    /// change days of field `i`, sorted ascending (duplicates possible if
-    /// the cube was not day-deduplicated).
-    day_offsets: Vec<u32>,
-    days: Vec<Date>,
+    /// Per-field day lists, shared with the cube when the index covers
+    /// all change kinds. Also owns the sorted `fields` vector and the
+    /// field → position map.
+    store: Arc<DayListStore>,
     /// CSR page → field positions.
     page_offsets: Vec<u32>,
     page_fields: Vec<u32>,
@@ -49,47 +48,25 @@ impl CubeIndex {
     /// (most callers want updates only — pass
     /// `&[ChangeKind::Update]` — but the dataset statistics want all).
     pub fn build_for_kinds(cube: &ChangeCube, kinds: &[ChangeKind]) -> CubeIndex {
-        // Per-chunk field → days maps, merged by appending day lists in
-        // chunk order. Chunks are contiguous ranges of the day-major
-        // change table, so appended lists stay day-sorted; everything the
-        // index exposes is keyed by the sorted `fields` vector below, so
-        // hash-map iteration order never reaches the output.
-        let chunk_maps: Vec<FxHashMap<FieldId, Vec<Date>>> =
-            wikistale_exec::par_ranges("cube_index", cube.num_changes(), 16_384, |range| {
-                let mut local: FxHashMap<FieldId, Vec<Date>> = FxHashMap::default();
-                for c in &cube.changes()[range] {
-                    if kinds.contains(&c.kind) {
-                        local.entry(c.field()).or_default().push(c.day);
-                    }
-                }
-                local
-            });
-        let mut per_field: FxHashMap<FieldId, Vec<Date>> = FxHashMap::default();
-        for local in chunk_maps {
-            for (field, mut field_days) in local {
-                per_field.entry(field).or_default().append(&mut field_days);
-            }
-        }
-        let mut fields: Vec<FieldId> = per_field.keys().copied().collect();
-        fields.sort_unstable();
+        let all_kinds = [ChangeKind::Create, ChangeKind::Update, ChangeKind::Delete]
+            .iter()
+            .all(|k| kinds.contains(k));
+        let store = if all_kinds {
+            // The cube's canonical day lists are exactly this view; share
+            // the encoded store instead of rebuilding it.
+            Arc::clone(cube.day_lists())
+        } else {
+            store_for_kinds(cube, kinds)
+        };
+        CubeIndex::from_store(cube, store)
+    }
 
-        let mut field_pos = FxHashMap::default();
-        field_pos.reserve(fields.len());
-        let mut day_offsets = Vec::with_capacity(fields.len() + 1);
-        let mut days = Vec::new();
-        day_offsets.push(0u32);
-        for (pos, f) in fields.iter().enumerate() {
-            field_pos.insert(*f, pos as u32);
-            let mut d = per_field.remove(f).expect("field present");
-            d.sort_unstable();
-            days.extend_from_slice(&d);
-            day_offsets.push(days.len() as u32);
-        }
-
+    /// Assemble the page and template CSR views around a day-list store.
+    fn from_store(cube: &ChangeCube, store: Arc<DayListStore>) -> CubeIndex {
         // Page → fields. Fields are already entity-sorted, so pushing in
         // order keeps each page's field list sorted by position.
         let mut page_lists: Vec<Vec<u32>> = vec![Vec::new(); cube.num_pages()];
-        for (pos, f) in fields.iter().enumerate() {
+        for (pos, f) in store.fields().iter().enumerate() {
             page_lists[cube.page_of(f.entity).index()].push(pos as u32);
         }
         let (page_offsets, page_fields) = to_csr(page_lists);
@@ -99,7 +76,7 @@ impl CubeIndex {
         let mut template_property_lists: Vec<Vec<PropertyId>> =
             vec![Vec::new(); cube.num_templates()];
         let mut last_entity: Option<EntityId> = None;
-        for f in &fields {
+        for f in store.fields() {
             let t = cube.template_of(f.entity).index();
             if last_entity != Some(f.entity) {
                 template_entity_lists[t].push(f.entity);
@@ -115,10 +92,7 @@ impl CubeIndex {
         let (template_property_offsets, template_properties) = to_csr(template_property_lists);
 
         CubeIndex {
-            fields,
-            field_pos,
-            day_offsets,
-            days,
+            store,
             page_offsets,
             page_fields,
             template_entity_offsets,
@@ -133,44 +107,39 @@ impl CubeIndex {
         CubeIndex::build_for_kinds(cube, &[ChangeKind::Update])
     }
 
+    /// The underlying shared day-list store.
+    pub fn day_lists(&self) -> &Arc<DayListStore> {
+        &self.store
+    }
+
     /// Number of indexed fields.
     pub fn num_fields(&self) -> usize {
-        self.fields.len()
+        self.store.num_fields()
     }
 
     /// All indexed fields, sorted by `(entity, property)`.
     pub fn fields(&self) -> &[FieldId] {
-        &self.fields
+        self.store.fields()
     }
 
     /// The field at dense position `pos`.
     pub fn field(&self, pos: usize) -> FieldId {
-        self.fields[pos]
+        self.store.field(pos)
     }
 
     /// Dense position of `field`, if it has any indexed change.
     pub fn position(&self, field: FieldId) -> Option<usize> {
-        self.field_pos.get(&field).map(|&p| p as usize)
+        self.store.position(field)
     }
 
-    /// Sorted change days of the field at `pos`.
-    pub fn days(&self, pos: usize) -> &[Date] {
-        let lo = self.day_offsets[pos] as usize;
-        let hi = self.day_offsets[pos + 1] as usize;
-        &self.days[lo..hi]
-    }
-
-    /// Sorted change days of the field at `pos` strictly before `before`.
-    pub fn days_before(&self, pos: usize, before: Date) -> &[Date] {
-        let days = self.days(pos);
-        &days[..days.partition_point(|&d| d < before)]
+    /// Sorted change days of the field at `pos`, as a delta-encoded view.
+    pub fn days(&self, pos: usize) -> DayList<'_> {
+        self.store.list(pos)
     }
 
     /// Whether the field at `pos` changed on any day in `[start, end)`.
     pub fn changed_in(&self, pos: usize, start: Date, end: Date) -> bool {
-        let days = self.days(pos);
-        let lo = days.partition_point(|&d| d < start);
-        lo < days.len() && days[lo] < end
+        self.store.list(pos).changed_in(start, end)
     }
 
     /// Dense positions of all fields on `page`, ascending.
@@ -206,7 +175,7 @@ impl CubeIndex {
 
     /// Total number of indexed change days across all fields.
     pub fn total_days(&self) -> usize {
-        self.days.len()
+        self.store.total_days()
     }
 }
 
@@ -260,7 +229,7 @@ mod tests {
         let pop = cube.property_id("population_est").unwrap();
         let pos = idx.position(FieldId::new(london, pop)).unwrap();
         // Only the update on day 4 is indexed; create/delete are not.
-        assert_eq!(idx.days(pos), &[day(4)]);
+        assert_eq!(idx.days(pos).to_vec(), vec![day(4)]);
     }
 
     #[test]
@@ -273,7 +242,21 @@ mod tests {
         let london = cube.entity_id("London").unwrap();
         let pop = cube.property_id("population_est").unwrap();
         let pos = idx.position(FieldId::new(london, pop)).unwrap();
-        assert_eq!(idx.days(pos), &[day(0), day(4), day(8)]);
+        assert_eq!(idx.days(pos).to_vec(), vec![day(0), day(4), day(8)]);
+    }
+
+    #[test]
+    fn all_kinds_index_shares_the_cube_store() {
+        let cube = cube();
+        let idx = CubeIndex::build_for_kinds(
+            &cube,
+            &[ChangeKind::Create, ChangeKind::Update, ChangeKind::Delete],
+        );
+        assert!(Arc::ptr_eq(idx.day_lists(), cube.day_lists()));
+        // The kind-filtered view is a distinct, smaller store.
+        let update_only = CubeIndex::build(&cube);
+        assert!(!Arc::ptr_eq(update_only.day_lists(), cube.day_lists()));
+        assert!(update_only.total_days() < idx.total_days());
     }
 
     #[test]
@@ -283,9 +266,10 @@ mod tests {
         let ali = cube.entity_id("Ali").unwrap();
         let wins = cube.property_id("wins").unwrap();
         let pos = idx.position(FieldId::new(ali, wins)).unwrap();
-        assert_eq!(idx.days(pos), &[day(1), day(2), day(3)]);
-        assert_eq!(idx.days_before(pos, day(3)), &[day(1), day(2)]);
-        assert_eq!(idx.days_before(pos, day(0)), &[] as &[Date]);
+        assert_eq!(idx.days(pos).to_vec(), vec![day(1), day(2), day(3)]);
+        assert_eq!(idx.days(pos).last_before(day(3)), Some(day(2)));
+        assert_eq!(idx.days(pos).count_before(day(3)), 2);
+        assert_eq!(idx.days(pos).last_before(day(0)), None);
     }
 
     #[test]

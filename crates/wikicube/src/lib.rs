@@ -26,7 +26,10 @@
 //! * [`intern`] — string interning so the cube stores ids, not strings,
 //! * [`fxhash`] — a fast non-cryptographic hasher for hot id-keyed maps,
 //! * [`change`] — the [`Change`] record and its [`ChangeKind`],
-//! * [`cube`] — the [`ChangeCube`] container and its builder,
+//! * [`cube`] — the [`ChangeCube`] container (columnar, struct-of-arrays
+//!   change table) and its builder,
+//! * [`daylist`] — shared, delta-encoded per-field day lists
+//!   ([`DayListStore`]), built once and reused by every stage,
 //! * [`index`] — derived access paths (field → change days, page → fields,
 //!   template → entities/properties) in compressed-sparse-row layout,
 //! * [`binio`] — a versioned, checksummed binary persistence format
@@ -59,6 +62,7 @@ pub mod change;
 pub mod crc32;
 pub mod cube;
 pub mod date;
+pub mod daylist;
 pub mod error;
 pub mod fxhash;
 pub mod ids;
@@ -69,8 +73,9 @@ pub mod ops;
 pub mod stats;
 
 pub use change::{Change, ChangeFlags, ChangeKind};
-pub use cube::{ChangeCube, ChangeCubeBuilder, EntityMeta};
+pub use cube::{ChangeColumns, ChangeCube, ChangeCubeBuilder, Changes, EntityMeta};
 pub use date::{Date, DateRange, Weekday};
+pub use daylist::{DayList, DayListStore};
 pub use error::CubeError;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{EntityId, FieldId, PageId, PropertyId, TemplateId, ValueId};

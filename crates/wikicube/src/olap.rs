@@ -57,15 +57,13 @@ impl<'a> CubeQuery<'a> {
         self
     }
 
-    fn changes(&self) -> impl Iterator<Item = &'a crate::change::Change> + '_ {
-        let slice = match self.range {
+    fn changes(&self) -> impl Iterator<Item = crate::change::Change> + 'a {
+        let iter = match self.range {
             Some(range) => self.cube.changes_in(range),
-            None => self.cube.changes(),
+            None => self.cube.iter_changes(),
         };
         let kind = self.kind;
-        slice
-            .iter()
-            .filter(move |c| kind.is_none_or(|k| c.kind == k))
+        iter.filter(move |c| kind.is_none_or(|k| c.kind == k))
     }
 
     /// Number of changes matching the filters.

@@ -34,7 +34,7 @@ pub fn merge<'a>(cubes: impl IntoIterator<Item = &'a ChangeCube>) -> Result<Chan
     for cube in cubes {
         // `ChangeCubeBuilder::entity` panics on conflicting registration;
         // catchable consistency checking is friendlier for merge inputs.
-        for c in cube.changes() {
+        for c in cube.iter_changes() {
             let name = cube.entity_name(c.entity);
             let template = cube.template_name(cube.template_of(c.entity));
             let page = cube.page_title(cube.page_of(c.entity));
@@ -72,7 +72,11 @@ fn builder_entity_conflict(
     }
 }
 
-fn copy_changes(builder: &mut ChangeCubeBuilder, source: &ChangeCube, changes: &[Change]) {
+fn copy_changes(
+    builder: &mut ChangeCubeBuilder,
+    source: &ChangeCube,
+    changes: impl IntoIterator<Item = Change>,
+) {
     for c in changes {
         let entity = builder.entity(
             source.entity_name(c.entity),
@@ -128,8 +132,8 @@ mod tests {
         let cube = cube_a();
         let sliced = slice(&cube, DateRange::new(day(5), day(15)));
         assert_eq!(sliced.num_changes(), 1);
-        assert_eq!(sliced.changes()[0].day, day(10));
-        assert_eq!(sliced.value_text(sliced.changes()[0].value), "v10");
+        assert_eq!(sliced.change_at(0).day, day(10));
+        assert_eq!(sliced.value_text(sliced.change_at(0).value), "v10");
         // Values outside the slice are not interned.
         assert_eq!(sliced.num_values(), 1);
         let empty = slice(&cube, DateRange::new(day(100), day(200)));
@@ -144,8 +148,7 @@ mod tests {
         // Ali's history spans both inputs, in order.
         let ali = merged.entity_id("Ali").unwrap();
         let ali_days: Vec<i32> = merged
-            .changes()
-            .iter()
+            .iter_changes()
             .filter(|c| c.entity == ali)
             .map(|c| c.day - Date::EPOCH)
             .collect();
@@ -178,7 +181,7 @@ mod tests {
         let right = slice(&cube, DateRange::new(day(15), day(100)));
         let merged = merge([&left, &right]).unwrap();
         assert_eq!(merged.num_changes(), cube.num_changes());
-        for (a, b) in merged.changes().iter().zip(cube.changes()) {
+        for (a, b) in merged.iter_changes().zip(cube.iter_changes()) {
             assert_eq!(a.day, b.day);
             assert_eq!(merged.value_text(a.value), cube.value_text(b.value));
         }

@@ -62,7 +62,7 @@ impl CorpusStats {
         let mut prev: Option<(FieldId, crate::date::Date)> = None;
         let mut active_entities = crate::fxhash::FxHashSet::default();
         let mut active_templates = crate::fxhash::FxHashSet::default();
-        for c in cube.changes() {
+        for c in cube.iter_changes() {
             by_kind[c.kind as usize] += 1;
             if c.flags.is_bot_reverted() {
                 bot_reverted += 1;

@@ -199,8 +199,7 @@ mod tests {
         )]);
         assert_eq!(cube.num_changes(), 2);
         assert!(cube
-            .changes()
-            .iter()
+            .iter_changes()
             .all(|c| c.kind == ChangeKind::Create && c.day == day(0)));
         let entity = cube.entity_id("London § infobox settlement").unwrap();
         assert_eq!(
@@ -220,9 +219,9 @@ mod tests {
                 (9, "{{Infobox settlement | population = 9}}"), // no-op revision
             ],
         )]);
-        let kinds: Vec<ChangeKind> = cube.changes().iter().map(|c| c.kind).collect();
+        let kinds: Vec<ChangeKind> = cube.iter_changes().map(|c| c.kind).collect();
         assert_eq!(kinds, vec![ChangeKind::Create, ChangeKind::Update]);
-        let update = cube.changes()[1];
+        let update = cube.change_at(1);
         assert_eq!(update.day, day(5));
         assert_eq!(cube.value_text(update.value), "9");
     }
@@ -237,8 +236,7 @@ mod tests {
             ],
         )]);
         let deletes: Vec<_> = cube
-            .changes()
-            .iter()
+            .iter_changes()
             .filter(|c| c.kind == ChangeKind::Delete)
             .collect();
         assert_eq!(deletes.len(), 1);
@@ -256,8 +254,7 @@ mod tests {
             ],
         )]);
         let deletes = cube
-            .changes()
-            .iter()
+            .iter_changes()
             .filter(|c| c.kind == ChangeKind::Delete)
             .count();
         assert_eq!(deletes, 2);
@@ -273,7 +270,7 @@ mod tests {
                 (2, "{{Infobox x | a = 2}}"),
             ],
         )]);
-        let kinds: Vec<ChangeKind> = cube.changes().iter().map(|c| c.kind).collect();
+        let kinds: Vec<ChangeKind> = cube.iter_changes().map(|c| c.kind).collect();
         assert_eq!(
             kinds,
             vec![ChangeKind::Create, ChangeKind::Delete, ChangeKind::Create]
@@ -296,8 +293,7 @@ mod tests {
             .unwrap();
         assert_eq!(cube.page_of(e0), cube.page_of(e1));
         let updates = cube
-            .changes()
-            .iter()
+            .iter_changes()
             .filter(|c| c.kind == ChangeKind::Update)
             .count();
         assert_eq!(updates, 2);
@@ -322,7 +318,7 @@ mod tests {
             ],
         )]);
         assert_eq!(cube.num_entities(), 1);
-        let kinds: Vec<ChangeKind> = cube.changes().iter().map(|c| c.kind).collect();
+        let kinds: Vec<ChangeKind> = cube.iter_changes().map(|c| c.kind).collect();
         assert_eq!(
             kinds,
             vec![ChangeKind::Create, ChangeKind::Update, ChangeKind::Update]
@@ -353,7 +349,7 @@ mod tests {
             ],
         )]);
         assert_eq!(cube.num_changes(), 1);
-        let c = cube.changes()[0];
+        let c = cube.change_at(0);
         assert_eq!(c.day, day(0));
         assert_eq!(cube.value_text(c.value), "3");
     }

@@ -22,7 +22,7 @@ pub fn cube_to_dump(cube: &ChangeCube) -> Vec<PageDump> {
     // Group changes by page, preserving the cube's (day, entity,
     // property) order.
     let mut per_page: Vec<Vec<usize>> = vec![Vec::new(); cube.num_pages()];
-    for (i, c) in cube.changes().iter().enumerate() {
+    for (i, c) in cube.iter_changes().enumerate() {
         per_page[cube.page_of(c.entity).index()].push(i);
     }
 
@@ -40,9 +40,9 @@ pub fn cube_to_dump(cube: &ChangeCube) -> Vec<PageDump> {
 
         let mut i = 0;
         while i < change_idxs.len() {
-            let day = cube.changes()[change_idxs[i]].day;
-            while i < change_idxs.len() && cube.changes()[change_idxs[i]].day == day {
-                let c = cube.changes()[change_idxs[i]];
+            let day = cube.change_at(change_idxs[i]).day;
+            while i < change_idxs.len() && cube.change_at(change_idxs[i]).day == day {
+                let c = cube.change_at(change_idxs[i]);
                 if !entity_order.contains(&c.entity) {
                     entity_order.push(c.entity);
                 }
@@ -126,7 +126,7 @@ mod tests {
         let xml = render_export(&cube_to_dump(&cube));
         let rebuilt = build_cube(&parse_export(&xml).unwrap());
         assert_eq!(rebuilt.num_changes(), cube.num_changes());
-        for (a, b) in rebuilt.changes().iter().zip(cube.changes()) {
+        for (a, b) in rebuilt.iter_changes().zip(cube.iter_changes()) {
             assert_eq!(a.day, b.day);
             assert_eq!(a.kind, b.kind);
             assert_eq!(

@@ -75,7 +75,7 @@ fn main() {
         cube.num_changes(),
         cube.num_properties()
     );
-    for c in cube.changes() {
+    for c in cube.iter_changes() {
         println!(
             "  {} {:<7} {:<30} {:<16} = {}",
             c.day,
@@ -97,7 +97,7 @@ fn main() {
         "\nafter filtering, {} update changes remain:",
         filtered.num_changes()
     );
-    for c in filtered.changes() {
+    for c in filtered.iter_changes() {
         println!(
             "  {} {:<30} {:<16} = {}",
             c.day,
@@ -111,8 +111,7 @@ fn main() {
     // (population_est with pop_est_as_of, infobox settlement) is visible
     // in this history: both changed on the same 2019-03-02 revision.
     let both_changed_together = filtered
-        .changes()
-        .iter()
+        .iter_changes()
         .filter(|c| c.day.to_string() == "2019-03-02")
         .count();
     assert_eq!(both_changed_together, 2);

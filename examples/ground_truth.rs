@@ -188,20 +188,11 @@ fn main() {
 
     // Show the typo story from the value history.
     println!("\ntotal-goals value history (note the 9,000-short typo and the final correction):");
-    let days = index.days(goals_pos);
-    for &day in days
-        .iter()
-        .rev()
-        .take(6)
-        .collect::<Vec<_>>()
-        .into_iter()
-        .rev()
-    {
+    let days = index.days(goals_pos).to_vec();
+    for &day in &days[days.len().saturating_sub(6)..] {
         let change = cube
             .changes_in(DateRange::new(day, day + 1))
-            .iter()
             .find(|c| c.field() == goals_field)
-            .copied()
             .unwrap();
         println!("  {day}: total goals = {}", cube.value_text(change.value));
     }

@@ -110,8 +110,7 @@ fn main() {
         .entity_id("Premier League § Infobox football league")
         .expect("league infobox present");
     let co_change_days: Vec<_> = full
-        .changes()
-        .iter()
+        .iter_changes()
         .filter(|c| c.entity == league)
         .map(|c| c.day)
         .collect();

@@ -26,6 +26,12 @@ run cargo test -q --offline -p wikistale-cli --test chaos
 run cargo test -q --offline -p wikistale-wikicube binio
 run cargo test -q --offline -p wikistale-cli --test differential
 
+# Columnar data plane: the row-vs-columnar differential tests live in the
+# differential suite above; this names them so a day-list or rebuild
+# regression fails on its own line.
+run cargo test -q --offline -p wikistale-cli --test differential -- \
+    day_list columnar weekly_transactions binio_v2
+
 # Serving gates: the query server's unit suite (admission, cache,
 # deadline, byte-determinism) plus the end-to-end suite that drives the
 # real binary over loopback TCP.
@@ -40,7 +46,9 @@ run cargo test -q --offline -p wikistale-cli --test serve_e2e
 # lib.rs, so it is exempt.
 echo "==> forbid unwrap()/expect() in fault-tolerant code paths"
 violations=$(
-    for f in crates/wikitext/src/*.rs crates/wikicube/src/binio.rs crates/serve/src/*.rs; do
+    for f in crates/wikitext/src/*.rs crates/wikicube/src/binio.rs \
+             crates/wikicube/src/daylist.rs crates/wikicube/src/cube.rs \
+             crates/serve/src/*.rs; do
         [ "$(basename "$f")" = "testutil.rs" ] && continue
         awk '/#\[cfg\(test\)\]/ { exit }
              !/^[[:space:]]*\/\// && (/\.unwrap\(\)/ || /\.expect\(/) {

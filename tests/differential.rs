@@ -402,6 +402,141 @@ fn bench_subcommand_verifies_and_reports() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+// ---------------------------------------------------------------------------
+// Row-vs-columnar differential: the columnar change table and the shared
+// delta-encoded day-list store against straight row-layout reference
+// implementations, at --threads {1, 4}.
+
+/// Reference day lists computed the pre-columnar way: scan every change
+/// row and bucket its day under the (entity, property) field.
+fn reference_day_lists(
+    cube: &ChangeCube,
+) -> std::collections::BTreeMap<wikistale_wikicube::FieldId, Vec<Date>> {
+    let mut map: std::collections::BTreeMap<wikistale_wikicube::FieldId, Vec<Date>> =
+        std::collections::BTreeMap::new();
+    for c in cube.iter_changes() {
+        let days = map.entry(c.field()).or_default();
+        if days.last() != Some(&c.day) {
+            days.push(c.day);
+        }
+    }
+    map
+}
+
+/// The shared day-list store decodes to exactly the day lists a row scan
+/// produces — fields, order, and every day — at every thread count.
+#[test]
+fn day_list_store_matches_row_scan() {
+    for seed in [2u64, 13] {
+        let config = SynthConfig {
+            seed,
+            ..SynthConfig::tiny()
+        };
+        for threads in [1usize, 4] {
+            let (raw, filtered) = with_exec(threads, 0, || {
+                let corpus = generate(&config);
+                let filtered = FilterPipeline::paper().apply(&corpus.cube).0;
+                (corpus.cube, filtered)
+            });
+            for cube in [&raw, &filtered] {
+                let reference = reference_day_lists(cube);
+                let store = cube.day_lists();
+                assert_eq!(store.num_fields(), reference.len(), "threads={threads}");
+                for (pos, field, list) in store.iter() {
+                    let expected = &reference[&field];
+                    assert_eq!(
+                        &list.to_vec(),
+                        expected,
+                        "seed={seed} threads={threads} field #{pos}"
+                    );
+                    assert_eq!(list.len(), expected.len());
+                    assert_eq!(list.first(), expected.first().copied());
+                    assert_eq!(list.last(), expected.last().copied());
+                }
+            }
+        }
+    }
+}
+
+/// Rebuilding a cube from its materialized rows (`changes_vec` →
+/// `with_changes`, the row-layout construction path) reproduces the
+/// binio artifact byte for byte, at --threads {1, 4}.
+#[test]
+fn columnar_rebuild_from_rows_is_byte_identical() {
+    let corpus = generate(&SynthConfig::tiny());
+    let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+    for cube in [&corpus.cube, &filtered] {
+        let reference = binio::encode(cube);
+        for threads in [1usize, 4] {
+            let rebuilt = with_exec(threads, 0, || {
+                cube.with_changes(cube.changes_vec())
+                    .expect("ids are valid")
+            });
+            assert_eq!(
+                binio::encode(&rebuilt),
+                reference,
+                "row-rebuilt cube bytes diverged at threads={threads}"
+            );
+        }
+    }
+}
+
+/// The weekly Apriori transactions read from the shared day store match
+/// the pre-columnar row-scan reference exactly.
+#[test]
+fn weekly_transactions_from_day_store_match_row_scan() {
+    use std::collections::{BTreeMap, BTreeSet};
+    use wikistale_wikicube::{EntityId, PropertyId};
+    let corpus = generate(&SynthConfig::tiny());
+    let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+    let range = filtered.time_span().unwrap();
+    // Row reference: scan every change, bucket into 7-day windows.
+    let mut reference: BTreeMap<(EntityId, u32), BTreeSet<PropertyId>> = BTreeMap::new();
+    for c in filtered.changes_in(range) {
+        let week = (c.day - range.start()) as u32 / 7;
+        reference
+            .entry((c.entity, week))
+            .or_default()
+            .insert(c.property);
+    }
+    // Day-store walk: what the association-rule trainer reads.
+    let mut got: BTreeMap<(EntityId, u32), BTreeSet<PropertyId>> = BTreeMap::new();
+    for (_, field, list) in filtered.day_lists().iter() {
+        for day in list.iter_in(range) {
+            let week = (day - range.start()) as u32 / 7;
+            got.entry((field.entity, week))
+                .or_default()
+                .insert(field.property);
+        }
+    }
+    assert_eq!(got, reference);
+}
+
+/// Format compatibility: a v2 (row-wise) binio artifact decodes to the
+/// same cube, upgrades to the identical v3 bytes, and yields identical
+/// predictions at --threads {1, 4}.
+#[test]
+fn binio_v2_artifacts_load_and_predict_identically() {
+    let corpus = generate(&SynthConfig::tiny());
+    let (filtered, _) = FilterPipeline::paper().apply(&corpus.cube);
+    let split = EvalSplit::for_span(filtered.time_span().unwrap()).unwrap();
+    let v2 = binio::encode_v2(&filtered);
+    let from_v2 = binio::decode(&v2).expect("v2 artifact decodes");
+    assert_eq!(binio::encode(&from_v2), binio::encode(&filtered));
+    let reference = with_exec(1, 0, || {
+        run_paper_evaluation(&filtered, &split, &ExperimentConfig::default())
+    });
+    for threads in [1usize, 4] {
+        let got = with_exec(threads, 0, || {
+            run_paper_evaluation(&from_v2, &split, &ExperimentConfig::default())
+        });
+        assert_eq!(
+            got, reference,
+            "v2-loaded cube predictions diverged at threads={threads}"
+        );
+    }
+}
+
 /// Scheduling-order stress: many repetitions at an odd worker count with
 /// single-element chunks — the configuration most likely to surface a
 /// merge-order or termination bug. Run with

@@ -23,24 +23,20 @@ fn filtered_corpus_contains_only_dense_update_histories() {
     let (filtered, report) = FilterPipeline::paper().apply(&corpus.cube);
     // Updates only.
     assert!(filtered
-        .changes()
-        .iter()
+        .iter_changes()
         .all(|c| c.kind == ChangeKind::Update));
     // No bot-reverted changes.
-    assert!(filtered
-        .changes()
-        .iter()
-        .all(|c| !c.flags.is_bot_reverted()));
+    assert!(filtered.iter_changes().all(|c| !c.flags.is_bot_reverted()));
     // At most one change per field per day.
     let mut prev = None;
-    for c in filtered.changes() {
+    for c in filtered.iter_changes() {
         let key = (c.day, c.entity, c.property);
         assert_ne!(prev, Some(key), "duplicate field-day after dedup");
         prev = Some(key);
     }
     // Every field has ≥ 5 changes.
     let mut counts = std::collections::HashMap::new();
-    for c in filtered.changes() {
+    for c in filtered.iter_changes() {
         *counts.entry(c.field()).or_insert(0usize) += 1;
     }
     assert!(counts.values().all(|&n| n >= 5));
@@ -54,7 +50,7 @@ fn filter_pipeline_is_idempotent() {
     let corpus = generate(&SynthConfig::tiny());
     let (once, _) = FilterPipeline::paper().apply(&corpus.cube);
     let (twice, report) = FilterPipeline::paper().apply(&once);
-    assert_eq!(once.changes(), twice.changes());
+    assert_eq!(once.changes_vec(), twice.changes_vec());
     assert!(report.stages.iter().all(|s| s.removed == 0));
 }
 
@@ -122,7 +118,7 @@ fn recall_ordering_and_overlap_bookkeeping() {
 fn evaluation_is_deterministic() {
     let (filtered_a, split) = prepared();
     let (filtered_b, _) = prepared();
-    assert_eq!(filtered_a.changes(), filtered_b.changes());
+    assert_eq!(filtered_a.changes_vec(), filtered_b.changes_vec());
     let a = run_paper_evaluation(&filtered_a, &split, &ExperimentConfig::default());
     let b = run_paper_evaluation(&filtered_b, &split, &ExperimentConfig::default());
     for (ga, gb) in a.per_granularity.iter().zip(&b.per_granularity) {

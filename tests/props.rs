@@ -86,7 +86,7 @@ proptest! {
         let (filtered, report) = FilterPipeline::paper().apply(&corpus.cube);
         let removed: usize = report.stages.iter().map(|s| s.removed).sum();
         prop_assert_eq!(removed + filtered.num_changes(), report.original);
-        prop_assert!(filtered.changes().iter().all(|c| c.kind == ChangeKind::Update));
+        prop_assert!(filtered.iter_changes().all(|c| c.kind == ChangeKind::Update));
         if let Some(span) = filtered.time_span() {
             if let Some(split) = EvalSplit::for_span(span) {
                 let index = CubeIndex::build(&filtered);
@@ -103,7 +103,7 @@ proptest! {
         let corpus = generate(&config);
         let (once, _) = FilterPipeline::paper().apply(&corpus.cube);
         let (twice, report) = FilterPipeline::paper().apply(&once);
-        prop_assert_eq!(once.changes(), twice.changes());
+        prop_assert_eq!(once.changes_vec(), twice.changes_vec());
         prop_assert!(report.stages.iter().all(|s| s.removed == 0));
     }
 }
@@ -115,7 +115,7 @@ proptest! {
     #[test]
     fn prop_binio_round_trip(cube in arb_cube()) {
         let back = binio::decode(&binio::encode(&cube)).unwrap();
-        prop_assert_eq!(back.changes(), cube.changes());
+        prop_assert_eq!(back.changes_vec(), cube.changes_vec());
         prop_assert_eq!(binio::encode(&back), binio::encode(&cube));
     }
 
@@ -133,8 +133,7 @@ proptest! {
         prop_assert_eq!(merged.num_changes(), cube.num_changes());
         // Content equality modulo interner numbering.
         let render = |c: &ChangeCube| -> Vec<(Date, String, String, String, ChangeKind)> {
-            c.changes()
-                .iter()
+            c.iter_changes()
                 .map(|ch| (
                     ch.day,
                     c.entity_name(ch.entity).to_owned(),
@@ -204,11 +203,11 @@ fn regression_same_day_same_slot_duplicate_values() {
 
     // Last-value-wins canonicalization: one change survives, value "0".
     assert_eq!(cube.num_changes(), 1);
-    assert_eq!(cube.value_text(cube.changes()[0].value), "0");
+    assert_eq!(cube.value_text(cube.change_at(0).value), "0");
 
     // Serialization round-trips the canonical form.
     let back = binio::decode(&binio::encode(&cube)).unwrap();
-    assert_eq!(back.changes(), cube.changes());
+    assert_eq!(back.changes_vec(), cube.changes_vec());
     assert_eq!(binio::encode(&back), binio::encode(&cube));
 
     // Slice/merge partition reproduces the canonical cube.

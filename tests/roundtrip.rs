@@ -16,7 +16,7 @@ fn histories(
 ) -> std::collections::BTreeMap<(String, String), Vec<(Date, String)>> {
     let mut map: std::collections::BTreeMap<(String, String), Vec<(Date, String)>> =
         Default::default();
-    for c in cube.changes() {
+    for c in cube.iter_changes() {
         let key = (
             cube.page_title(cube.page_of(c.entity)).to_owned(),
             format!(
@@ -49,10 +49,7 @@ fn filtered_corpus_survives_xml_round_trip() {
     // filtered change and update afterwards; deletes cannot occur because
     // the filtered corpus is update-only and values never repeat
     // consecutively.
-    assert!(rebuilt
-        .changes()
-        .iter()
-        .all(|c| c.kind != ChangeKind::Delete));
+    assert!(rebuilt.iter_changes().all(|c| c.kind != ChangeKind::Delete));
 
     let original = histories(&filtered);
     let roundtripped = histories(&rebuilt);
@@ -64,7 +61,7 @@ fn filtered_corpus_survives_xml_round_trip() {
 
     // Kind structure: per field, exactly one leading create.
     let mut first_seen = std::collections::HashSet::new();
-    for c in rebuilt.changes() {
+    for c in rebuilt.iter_changes() {
         let is_first = first_seen.insert(c.field());
         assert_eq!(
             c.kind,
@@ -99,7 +96,7 @@ fn raw_corpus_with_deletes_round_trips_after_dedup() {
     let final_state = |cube: &ChangeCube| {
         let mut state: std::collections::BTreeMap<(String, String), Option<String>> =
             Default::default();
-        for c in cube.changes() {
+        for c in cube.iter_changes() {
             let key = (
                 cube.entity_name(c.entity).to_owned(),
                 cube.property_name(c.property).to_owned(),
